@@ -1,0 +1,7 @@
+"""Pytest hooks for the benchmark harnesses (shared logic: bench_common)."""
+
+import sys
+from pathlib import Path
+
+# Make `import bench_common` reliable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,27 @@
+"""Figure 2: measured/ideal bit-rate heat map, default scheduler, 6x6 grid.
+
+Paper shape: near-1 on the diagonal and in the high-bandwidth corner,
+clearly degraded where paths are heterogeneous (one fast, one slow), worst
+when the primary (WiFi) is the slow path.
+"""
+
+from bench_common import GRID_MBPS, run_once, scheduler_grid, write_output
+from repro.experiments.grid import bitrate_ratio_matrix, format_matrix
+
+
+def test_fig02_default_bitrate_ratio(benchmark):
+    grid = run_once(benchmark, lambda: scheduler_grid("minrtt"))
+    ratios = bitrate_ratio_matrix(grid)
+    write_output(
+        "fig02_default_heatmap",
+        "Ratio of measured vs ideal average bit rate (default scheduler)\n"
+        + format_matrix(ratios, GRID_MBPS, GRID_MBPS),
+    )
+
+    # Symmetric high-bandwidth corner close to ideal...
+    assert ratios[(8.6, 8.6)] > 0.75
+    # ...while strongly heterogeneous cells fall short of it.
+    hetero = min(ratios[(0.3, 8.6)], ratios[(8.6, 0.3)])
+    assert hetero < ratios[(8.6, 8.6)]
+    # Every ratio is a valid fraction of ideal.
+    assert all(0.0 <= v <= 1.0 for v in ratios.values())

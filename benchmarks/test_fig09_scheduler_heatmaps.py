@@ -1,0 +1,42 @@
+"""Figure 9: bit-rate ratio heat maps for default, ECF, DAPS, and BLEST.
+
+Paper shape: ECF's map is the darkest (closest to ideal) under
+heterogeneity; DAPS does not improve on the default and is sometimes
+worse; BLEST helps only in a few cells.
+"""
+
+from bench_common import GRID_MBPS, run_once, scheduler_grid, write_output
+from repro.experiments.grid import bitrate_ratio_matrix, format_matrix
+
+SCHEDULERS = ("minrtt", "ecf", "daps", "blest")
+
+#: Cells with at least ~4x bandwidth asymmetry.
+HETERO_CELLS = [
+    (w, l) for w in GRID_MBPS for l in GRID_MBPS
+    if max(w, l) / min(w, l) >= 4.0
+]
+
+
+def test_fig09_scheduler_heatmaps(benchmark):
+    def compute():
+        return {name: scheduler_grid(name) for name in SCHEDULERS}
+
+    grids = run_once(benchmark, compute)
+    ratios = {name: bitrate_ratio_matrix(grid) for name, grid in grids.items()}
+    sections = []
+    for name in SCHEDULERS:
+        sections.append(
+            f"-- {name} --\n" + format_matrix(ratios[name], GRID_MBPS, GRID_MBPS)
+        )
+    write_output("fig09_scheduler_heatmaps", "\n\n".join(sections))
+
+    def hetero_mean(name):
+        return sum(ratios[name][cell] for cell in HETERO_CELLS) / len(HETERO_CELLS)
+
+    # ECF dominates the default under heterogeneity...
+    assert hetero_mean("ecf") >= hetero_mean("minrtt")
+    # ...and is the best (or tied best) of all four schedulers there.
+    best = max(SCHEDULERS, key=hetero_mean)
+    assert hetero_mean("ecf") >= hetero_mean(best) - 0.02
+    # DAPS does not beat ECF.
+    assert hetero_mean("daps") <= hetero_mean("ecf") + 0.02

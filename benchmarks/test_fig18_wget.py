@@ -1,0 +1,52 @@
+"""Figure 18: wget download completion time for 128 kB - 1 MB objects,
+WiFi fixed at 1 Mbps, LTE swept 1..10 Mbps, all four schedulers.
+
+Paper shape: completion time falls with LTE bandwidth for sizes large
+enough to engage the secondary subflow; schedulers are statistically
+close, with DAPS occasionally worse and ECF shaving time off the largest
+transfers at high heterogeneity.
+"""
+
+from bench_common import run_once, write_output
+from repro.apps.bulk import run_bulk_download
+from repro.net.profiles import lte_config, wifi_config
+
+SIZES = (128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024)
+LTE_MBPS = tuple(range(1, 11))
+SCHEDULERS = ("minrtt", "daps", "blest", "ecf")
+
+
+def test_fig18_wget_completion_times(benchmark):
+    def compute():
+        table = {}
+        for size in SIZES:
+            for lte in LTE_MBPS:
+                paths = (wifi_config(1.0), lte_config(float(lte)))
+                for name in SCHEDULERS:
+                    result = run_bulk_download(name, paths, size, seed=1)
+                    table[(size, lte, name)] = result.completion_time
+        return table
+
+    table = run_once(benchmark, compute)
+    lines = ["size_kB  lte_Mbps  default_s  daps_s  blest_s  ecf_s"]
+    for size in SIZES:
+        for lte in LTE_MBPS:
+            row = [f"{size // 1024:7d}  {lte:8d}"]
+            for name in SCHEDULERS:
+                row.append(f"{table[(size, lte, name)]:7.3f}")
+            lines.append(" ".join(row))
+    write_output("fig18_wget", "\n".join(lines))
+
+    # Shape 1: larger files take longer at fixed bandwidths.
+    for lte in (1, 5, 10):
+        times = [table[(size, lte, "minrtt")] for size in SIZES]
+        assert times == sorted(times)
+    # Shape 2: for 1 MB transfers, more LTE bandwidth never hurts much.
+    big = [table[(SIZES[-1], lte, "minrtt")] for lte in LTE_MBPS]
+    assert big[-1] < big[0]
+    # Shape 3: ECF does not lose to the default on the largest transfers.
+    for lte in LTE_MBPS:
+        assert (
+            table[(SIZES[-1], lte, "ecf")]
+            <= table[(SIZES[-1], lte, "minrtt")] * 1.1
+        )

@@ -1,0 +1,49 @@
+"""Figure 19: ECF completion time normalized by the default's, over a
+WiFi x LTE in {1..10} Mbps grid, per object size.
+
+Paper shape: ratio ~1 for small transfers (128 kB), at-or-below 1 for
+256 kB+ with the gains concentrated in heterogeneous cells; never
+meaningfully above 1 ("if ECF ever did worse ... that does not happen").
+"""
+
+from bench_common import run_once, write_output
+from repro.apps.bulk import run_bulk_download
+from repro.net.profiles import lte_config, wifi_config
+
+SIZES = (256 * 1024, 1024 * 1024)
+GRID = (1, 2, 4, 6, 8, 10)
+
+
+def test_fig19_ecf_over_default_ratio(benchmark):
+    def compute():
+        ratios = {}
+        for size in SIZES:
+            for wifi in GRID:
+                for lte in GRID:
+                    paths = (wifi_config(float(wifi)), lte_config(float(lte)))
+                    default = run_bulk_download("minrtt", paths, size, seed=2)
+                    ecf = run_bulk_download("ecf", paths, size, seed=2)
+                    ratios[(size, wifi, lte)] = (
+                        ecf.completion_time / default.completion_time
+                    )
+        return ratios
+
+    ratios = run_once(benchmark, compute)
+    lines = []
+    for size in SIZES:
+        lines.append(f"-- {size // 1024} kB: ECF time / default time --")
+        header = "lte\\wifi " + " ".join(f"{w:6d}" for w in GRID)
+        lines.append(header)
+        for lte in reversed(GRID):
+            row = [f"{lte:8d}"]
+            for wifi in GRID:
+                row.append(f"{ratios[(size, wifi, lte)]:6.2f}")
+            lines.append(" ".join(row))
+        lines.append("")
+    write_output("fig19_wget_ratio", "\n".join(lines))
+
+    values = list(ratios.values())
+    # Shape: ECF never does meaningfully worse anywhere...
+    assert max(values) < 1.25
+    # ...and the mean ratio is at or below parity.
+    assert sum(values) / len(values) <= 1.02

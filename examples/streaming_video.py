@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Adaptive video streaming over heterogeneous paths (the paper's core
+scenario).
+
+Streams a 2-minute DASH video (six representations, Table 1 bit rates,
+5-second chunks) through each scheduler at a strongly heterogeneous
+bandwidth pair and reports the metrics of Section 5.2: average selected
+bit rate vs the ideal, fast-subflow traffic share, initial-window resets,
+and the out-of-order delay tail.
+
+Run:
+    python examples/streaming_video.py [wifi_mbps] [lte_mbps]
+"""
+
+import sys
+
+from repro.apps.dash.media import VideoManifest
+from repro.experiments.ideal import ideal_average_bitrate
+from repro.experiments.runner import StreamingRunConfig, run_streaming
+from repro.metrics.stats import percentile
+
+SCHEDULERS = ("minrtt", "ecf", "blest", "daps")
+
+
+def main() -> None:
+    wifi = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    lte = float(sys.argv[2]) if len(sys.argv) > 2 else 8.6
+    ideal = ideal_average_bitrate([wifi * 1e6, lte * 1e6], VideoManifest())
+    print(
+        f"Streaming 120 s of video over {wifi} Mbps WiFi + {lte} Mbps LTE "
+        f"(ideal bit rate {ideal / 1e6:.2f} Mbps)\n"
+    )
+    header = (
+        f"{'scheduler':<10}{'bitrate':>9}{'ratio':>7}{'fast%':>7}"
+        f"{'IW resets':>11}{'ooo p99 (s)':>13}{'rebuf (s)':>11}"
+    )
+    print(header)
+    for name in SCHEDULERS:
+        result = run_streaming(StreamingRunConfig(
+            scheduler=name, wifi_mbps=wifi, lte_mbps=lte, video_duration=120.0,
+        ))
+        bitrate = result.metrics.steady_average_bitrate_bps
+        ooo_p99 = percentile(result.ooo_delays, 99) if result.ooo_delays else 0.0
+        print(
+            f"{name:<10}{bitrate / 1e6:>8.2f}M{bitrate / ideal:>7.2f}"
+            f"{result.fraction_fast * 100:>6.0f}%"
+            f"{sum(result.iw_resets_by_interface.values()):>11d}"
+            f"{ooo_p99:>13.3f}{result.metrics.rebuffer_time:>11.1f}"
+        )
+    print(
+        "\nECF keeps the fast subflow hot (few IW resets), so the ABR can"
+        "\nhold a bit rate close to the ideal aggregate bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

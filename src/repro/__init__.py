@@ -1,0 +1,57 @@
+"""repro -- reproduction of "ECF: An MPTCP Path Scheduler to Manage
+Heterogeneous Paths" (Lim, Nahum, Towsley, Gibbens; CoNEXT 2017).
+
+The package is a packet-level discrete-event simulation of MPTCP complete
+enough to regenerate every figure and table in the paper's evaluation:
+per-subflow TCP with coupled congestion control, the MPTCP meta-socket
+with opportunistic retransmission/penalization, the ECF / default(minRTT)
+/ BLEST / DAPS path schedulers, a DASH adaptive-streaming stack, and
+wget/Web-browsing workloads.
+
+Quickstart
+----------
+>>> from repro import Simulator, make_scheduler, MptcpConnection
+>>> from repro.net import make_path, wifi_config, lte_config
+>>> sim = Simulator()
+>>> paths = [make_path(sim, wifi_config(1.0)), make_path(sim, lte_config(8.6))]
+>>> conn = MptcpConnection(sim, paths, make_scheduler("ecf"))
+>>> conn.write(500_000)
+>>> sim.run(until=30.0)  # doctest: +SKIP
+>>> conn.delivered_bytes  # doctest: +SKIP
+500000
+"""
+
+from repro.core import (
+    BlestScheduler,
+    DapsScheduler,
+    EcfScheduler,
+    MinRttScheduler,
+    SCHEDULER_NAMES,
+    Scheduler,
+    make_scheduler,
+)
+from repro.mptcp import ConnectionConfig, MptcpConnection, MptcpReceiver
+from repro.net import Path, make_path, lte_config, wifi_config
+from repro.sim import Simulator, TraceRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "TraceRecorder",
+    "Scheduler",
+    "EcfScheduler",
+    "MinRttScheduler",
+    "BlestScheduler",
+    "DapsScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "MptcpConnection",
+    "ConnectionConfig",
+    "MptcpReceiver",
+    "Path",
+    "make_path",
+    "wifi_config",
+    "lte_config",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Application layer: HTTP, bulk downloads, and DASH video streaming."""
+
+from repro.apps.http import GetResult, HttpSession
+from repro.apps.bulk import BulkDownloadResult, run_bulk_download
+
+__all__ = ["HttpSession", "GetResult", "run_bulk_download", "BulkDownloadResult"]

@@ -1,0 +1,36 @@
+"""DASH adaptive video streaming (Section 2.2 of the paper).
+
+* :mod:`~repro.apps.dash.media` -- the six-representation video of Table 1
+  and chunk-size arithmetic.
+* :mod:`~repro.apps.dash.abr` -- adaptive bit-rate algorithms: the
+  buffer-based BBA of Huang et al. (the paper's "state-of-art ABR [12]"),
+  a throughput-EWMA ABR, and a fixed-rate ABR for calibration.
+* :mod:`~repro.apps.dash.player` -- the client player: initial buffering,
+  steady-state ON-OFF chunk fetching, and rebuffering, the traffic pattern
+  whose OFF periods trigger the idle CWND resets at the heart of the paper.
+"""
+
+from repro.apps.dash.media import (
+    PAPER_REPRESENTATIONS,
+    Representation,
+    VideoManifest,
+)
+from repro.apps.dash.abr import (
+    AbrAlgorithm,
+    BufferBasedAbr,
+    FixedAbr,
+    ThroughputAbr,
+)
+from repro.apps.dash.player import DashPlayer, StreamingMetrics
+
+__all__ = [
+    "Representation",
+    "VideoManifest",
+    "PAPER_REPRESENTATIONS",
+    "AbrAlgorithm",
+    "BufferBasedAbr",
+    "ThroughputAbr",
+    "FixedAbr",
+    "DashPlayer",
+    "StreamingMetrics",
+]

@@ -1,0 +1,179 @@
+"""Adaptive bit-rate selection algorithms.
+
+The paper's client uses "a state-of-art adaptive bit rate selection (ABR)
+algorithm [12]" -- the buffer-based approach (BBA) of Huang et al.
+(SIGCOMM 2014).  :class:`BufferBasedAbr` implements BBA-0's rate map with
+the customary throughput-informed startup phase (pure BBA-0 is only
+defined once the buffer is in steady state).  A throughput-EWMA ABR and a
+fixed-rate ABR round out the set for comparisons and calibration.
+
+The ABR sees a small snapshot of player state and returns the
+representation for the *next* chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.apps.dash.media import Representation, VideoManifest
+
+
+@dataclass(frozen=True)
+class AbrInputs:
+    """What the player shows the ABR before each chunk request."""
+
+    buffer_level: float
+    throughput_estimate_bps: Optional[float]
+    last_representation: Optional[Representation]
+    startup: bool
+    #: Most recent per-chunk throughput samples, oldest first (used by
+    #: robust estimators such as the harmonic-mean ABR).
+    recent_throughputs_bps: tuple = ()
+
+
+class AbrAlgorithm:
+    """Interface: pick the representation for the next chunk."""
+
+    name = "abr"
+
+    def choose(self, manifest: VideoManifest, inputs: AbrInputs) -> Representation:
+        raise NotImplementedError
+
+
+class FixedAbr(AbrAlgorithm):
+    """Always request the same representation (calibration/testing)."""
+
+    name = "fixed"
+
+    def __init__(self, representation: Representation) -> None:
+        self.representation = representation
+
+    def choose(self, manifest: VideoManifest, inputs: AbrInputs) -> Representation:
+        if self.representation not in manifest.representations:
+            raise ValueError(
+                f"{self.representation!r} is not in the manifest"
+            )
+        return self.representation
+
+
+class ThroughputAbr(AbrAlgorithm):
+    """Classic rate-based ABR: EWMA of chunk throughput with a safety factor."""
+
+    name = "throughput"
+
+    def __init__(self, safety: float = 0.85) -> None:
+        if not 0.0 < safety <= 1.0:
+            raise ValueError(f"safety must be in (0, 1], got {safety!r}")
+        self.safety = safety
+
+    def choose(self, manifest: VideoManifest, inputs: AbrInputs) -> Representation:
+        estimate = inputs.throughput_estimate_bps
+        if estimate is None:
+            return manifest.lowest
+        return manifest.best_under(self.safety * estimate)
+
+
+class HarmonicThroughputAbr(AbrAlgorithm):
+    """Rate-based ABR using the harmonic mean of recent chunk throughputs.
+
+    The harmonic mean is dominated by the *slow* samples, making the
+    estimator robust against one lucky fast chunk -- the standard trick in
+    robust-MPC-style players.  Falls back to the EWMA estimate (then the
+    lowest rate) when history is short.
+    """
+
+    name = "harmonic"
+
+    def __init__(self, safety: float = 0.9, window: int = 5) -> None:
+        if not 0.0 < safety <= 1.0:
+            raise ValueError(f"safety must be in (0, 1], got {safety!r}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self.safety = safety
+        self.window = window
+
+    def choose(self, manifest: VideoManifest, inputs: AbrInputs) -> Representation:
+        samples = [s for s in inputs.recent_throughputs_bps[-self.window:] if s > 0]
+        if samples:
+            estimate = len(samples) / sum(1.0 / s for s in samples)
+        elif inputs.throughput_estimate_bps is not None:
+            estimate = inputs.throughput_estimate_bps
+        else:
+            return manifest.lowest
+        return manifest.best_under(self.safety * estimate)
+
+
+class BufferBasedAbr(AbrAlgorithm):
+    """BBA (Huang et al.): map buffer occupancy to bitrate.
+
+    * buffer below ``reservoir`` seconds -> lowest representation;
+    * buffer above ``reservoir + cushion`` -> highest;
+    * in between -> linear interpolation in bitrate, snapped down to an
+      available representation.
+
+    During startup (before playback begins) the player has no steady-state
+    buffer signal, so the throughput estimate picks the rate, as in the
+    BBA paper's startup heuristic.  Steady state is the pure BBA-0 buffer
+    map: the rate climbs whenever the buffer is full *regardless of the
+    throughput estimate* -- this is the property that lets a good path
+    scheduler translate into a higher selected bitrate (the ABR probes up,
+    and only a scheduler that sustains the aggregate bandwidth keeps the
+    buffer from draining back down).  An optional ``cap_factor`` restores
+    a throughput guard for experiments that want less rate oscillation.
+    """
+
+    name = "bba"
+
+    def __init__(
+        self,
+        reservoir: float = 5.0,
+        cushion: float = 10.0,
+        cap_factor: Optional[float] = None,
+    ) -> None:
+        if reservoir <= 0 or cushion <= 0:
+            raise ValueError("reservoir and cushion must be positive")
+        self.reservoir = reservoir
+        self.cushion = cushion
+        self.cap_factor = cap_factor
+
+    def choose(self, manifest: VideoManifest, inputs: AbrInputs) -> Representation:
+        estimate = inputs.throughput_estimate_bps
+        if inputs.startup:
+            if estimate is None:
+                return manifest.lowest
+            return manifest.best_under(0.85 * estimate)
+        level = inputs.buffer_level
+        low = manifest.lowest.bitrate_bps
+        high = manifest.highest.bitrate_bps
+        if level <= self.reservoir:
+            target = low
+        elif level >= self.reservoir + self.cushion:
+            target = high
+        else:
+            frac = (level - self.reservoir) / self.cushion
+            target = low + frac * (high - low)
+        if self.cap_factor is not None and estimate is not None:
+            target = min(target, self.cap_factor * estimate)
+        return manifest.best_under(target)
+
+
+def make_abr(name: str, manifest: Optional[VideoManifest] = None, **params) -> AbrAlgorithm:
+    """Factory: "bba", "throughput", "harmonic", or "fixed:<rep name>"
+    (the fixed form needs the manifest to resolve the name)."""
+    lowered = name.lower()
+    if lowered == "bba":
+        return BufferBasedAbr(**params)
+    if lowered == "throughput":
+        return ThroughputAbr(**params)
+    if lowered == "harmonic":
+        return HarmonicThroughputAbr(**params)
+    if lowered.startswith("fixed:"):
+        if manifest is None:
+            raise ValueError("fixed ABR requires a manifest to resolve the name")
+        rep_name = name.split(":", 1)[1]
+        for rep in manifest.representations:
+            if rep.name == rep_name:
+                return FixedAbr(rep, **params)
+        raise ValueError(f"no representation named {rep_name!r} in manifest")
+    raise ValueError(f"unknown ABR {name!r}")

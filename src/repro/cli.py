@@ -1,0 +1,189 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro.cli download --scheduler ecf --size 512k --wifi 1 --lte 10
+    python -m repro.cli streaming --scheduler minrtt ecf --wifi 0.3 --lte 8.6
+    python -m repro.cli web --scheduler ecf --wifi 1 --lte 10
+    python -m repro.cli grid --scheduler ecf --video 30
+    python -m repro.cli wild --runs 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.bulk import run_bulk_download
+from repro.apps.dash.media import VideoManifest
+from repro.core.registry import SCHEDULER_NAMES
+from repro.experiments.grid import (
+    PAPER_BANDWIDTH_GRID_MBPS,
+    bitrate_ratio_matrix,
+    format_matrix,
+    streaming_grid,
+)
+from repro.experiments.ideal import ideal_average_bitrate
+from repro.experiments.runner import StreamingRunConfig, run_streaming
+from repro.experiments.wild import run_wild_streaming
+from repro.metrics.stats import percentile
+from repro.net.profiles import lte_config, wifi_config
+from repro.workloads.web import run_web_browsing
+
+
+def parse_size(text: str) -> int:
+    """Parse '512k' / '2m' / '1048576' into bytes."""
+    text = text.strip().lower()
+    multiplier = 1
+    if text.endswith("k"):
+        multiplier, text = 1024, text[:-1]
+    elif text.endswith("m"):
+        multiplier, text = 1024 * 1024, text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"unparseable size: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("size must be positive")
+    return int(value * multiplier)
+
+
+def _add_common(parser: argparse.ArgumentParser, multi_sched: bool = True) -> None:
+    nargs = "+" if multi_sched else None
+    parser.add_argument(
+        "--scheduler", nargs=nargs, default=["minrtt", "ecf"] if multi_sched else "ecf",
+        choices=SCHEDULER_NAMES, help="scheduler(s) to run",
+    )
+    parser.add_argument("--wifi", type=float, default=1.0, help="WiFi Mbps")
+    parser.add_argument("--lte", type=float, default=8.6, help="LTE Mbps")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_download(args) -> int:
+    paths = (wifi_config(args.wifi), lte_config(args.lte))
+    print(f"{'scheduler':<10}{'time (s)':>10}{'throughput':>13}")
+    for name in args.scheduler:
+        result = run_bulk_download(name, paths, args.size, seed=args.seed)
+        print(
+            f"{name:<10}{result.completion_time:>10.3f}"
+            f"{result.throughput_bps / 1e6:>11.2f}Mb"
+        )
+    return 0
+
+
+def cmd_streaming(args) -> int:
+    ideal = ideal_average_bitrate([args.wifi * 1e6, args.lte * 1e6], VideoManifest())
+    print(f"ideal bit rate: {ideal / 1e6:.2f} Mbps")
+    print(f"{'scheduler':<10}{'bitrate':>10}{'ratio':>8}{'IW resets':>11}")
+    for name in args.scheduler:
+        result = run_streaming(StreamingRunConfig(
+            scheduler=name, wifi_mbps=args.wifi, lte_mbps=args.lte,
+            video_duration=args.video, seed=args.seed,
+        ))
+        bitrate = result.metrics.steady_average_bitrate_bps
+        print(
+            f"{name:<10}{bitrate / 1e6:>9.2f}M{bitrate / ideal:>8.2f}"
+            f"{sum(result.iw_resets_by_interface.values()):>11d}"
+        )
+    return 0
+
+
+def cmd_web(args) -> int:
+    paths = (wifi_config(args.wifi), lte_config(args.lte))
+    print(f"{'scheduler':<10}{'mean ct':>10}{'p95 ct':>9}{'page load':>11}")
+    for name in args.scheduler:
+        result = run_web_browsing(name, paths, seed=args.seed)
+        cts = result.object_completion_times
+        print(
+            f"{name:<10}{result.mean_completion_time:>9.3f}s"
+            f"{percentile(cts, 95):>8.2f}s{result.page_load_time:>10.2f}s"
+        )
+    return 0
+
+
+def cmd_grid(args) -> int:
+    base = StreamingRunConfig(
+        scheduler=args.scheduler, video_duration=args.video, seed=args.seed
+    )
+    grid = streaming_grid(base)
+    ratios = bitrate_ratio_matrix(grid)
+    print(f"measured/ideal bit rate, scheduler={args.scheduler}")
+    print(format_matrix(ratios, PAPER_BANDWIDTH_GRID_MBPS, PAPER_BANDWIDTH_GRID_MBPS))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import collate_report, default_output_dir
+
+    text = collate_report(default_output_dir())
+    if args.output == "-":
+        print(text)
+    else:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_wild(args) -> int:
+    runs = run_wild_streaming(runs=args.runs, video_duration=args.video)
+    print(f"{'run':<5}{'wifi rtt':>10}{'default':>10}{'ecf':>8}")
+    for run in runs:
+        print(
+            f"{run.run_index:<5}{run.wifi_config.one_way_delay * 2000:>8.0f}ms"
+            f"{run.throughput_mbps('minrtt'):>9.2f}M"
+            f"{run.throughput_mbps('ecf'):>7.2f}M"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ECF (CoNEXT'17) reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("download", help="wget-style single-object download")
+    _add_common(p)
+    p.add_argument("--size", type=parse_size, default=parse_size("512k"))
+    p.set_defaults(func=cmd_download)
+
+    p = sub.add_parser("streaming", help="DASH streaming session")
+    _add_common(p)
+    p.add_argument("--video", type=float, default=120.0, help="video seconds")
+    p.set_defaults(func=cmd_streaming)
+
+    p = sub.add_parser("web", help="full-page Web browsing")
+    _add_common(p)
+    p.set_defaults(func=cmd_web)
+
+    p = sub.add_parser("grid", help="6x6 bandwidth-grid heat map")
+    p.add_argument("--scheduler", default="ecf", choices=SCHEDULER_NAMES)
+    p.add_argument("--video", type=float, default=60.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_grid)
+
+    p = sub.add_parser("wild", help="in-the-wild emulation")
+    p.add_argument("--runs", type=int, default=5)
+    p.add_argument("--video", type=float, default=60.0)
+    p.set_defaults(func=cmd_wild)
+
+    p = sub.add_parser(
+        "report", help="collate benchmarks/output/*.txt into one markdown report"
+    )
+    p.add_argument("--output", default="-", help="file to write ('-' = stdout)")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

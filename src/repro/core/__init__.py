@@ -1,0 +1,40 @@
+"""MPTCP path schedulers -- the paper's contribution and its baselines.
+
+Every scheduler implements :class:`~repro.core.base.Scheduler`: given the
+connection state, return the subflow that should carry the next segment, or
+``None`` to wait for a better subflow to free up.
+
+Provided schedulers (Section 5.1 of the paper):
+
+* ``minrtt`` -- the MPTCP **default**: smallest-RTT subflow with CWND space.
+* ``ecf`` -- **Earliest Completion First** (Algorithm 1), the contribution.
+* ``blest`` -- BLEST (Ferlin et al., IFIP Networking 2016).
+* ``daps`` -- DAPS (Kuhn et al., ICC 2014).
+* ``roundrobin`` -- cycles over available subflows (extra baseline).
+* ``primary`` -- single-path TCP on the primary interface (extra baseline).
+"""
+
+from repro.core.base import Scheduler
+from repro.core.minrtt import MinRttScheduler
+from repro.core.ecf import EcfScheduler
+from repro.core.blest import BlestScheduler
+from repro.core.daps import DapsScheduler
+from repro.core.extras import (
+    PrimaryOnlyScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.registry import SCHEDULER_NAMES, make_scheduler
+
+__all__ = [
+    "Scheduler",
+    "MinRttScheduler",
+    "EcfScheduler",
+    "BlestScheduler",
+    "DapsScheduler",
+    "RoundRobinScheduler",
+    "RedundantScheduler",
+    "PrimaryOnlyScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]

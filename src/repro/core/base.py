@@ -1,0 +1,82 @@
+"""Scheduler interface and shared helpers.
+
+A scheduler instance belongs to exactly one connection (several keep
+per-connection state such as ECF's ``waiting`` flag), is attached via
+:meth:`Scheduler.attach`, and is consulted by
+:meth:`repro.mptcp.connection.MptcpConnection.try_send` each time a segment
+could be assigned.
+
+Contract:
+
+* :meth:`select` must return a subflow for which ``can_send()`` is true,
+  or ``None`` meaning "send nothing now and wait for an ACK event".
+* Returning ``None`` while *no* data is in flight anywhere would deadlock
+  the connection; the provided schedulers never wait unless the subflow
+  they are waiting for has segments in flight (so ACKs are coming).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.connection import MptcpConnection
+    from repro.tcp.subflow import Subflow
+
+
+class Scheduler:
+    """Base class for MPTCP path schedulers."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.conn: Optional["MptcpConnection"] = None
+        self.decisions = 0
+        self.waits = 0
+
+    def attach(self, conn: "MptcpConnection") -> None:
+        """Bind this scheduler instance to its connection."""
+        if self.conn is not None and self.conn is not conn:
+            raise RuntimeError(
+                f"scheduler {self.name!r} is already attached to another "
+                "connection; create one scheduler per connection"
+            )
+        self.conn = conn
+
+    # ------------------------------------------------------------------
+    # Helpers shared by implementations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available_subflows(conn: "MptcpConnection") -> List["Subflow"]:
+        """Established subflows that can accept a new segment now."""
+        return [sf for sf in conn.subflows if sf.can_send()]
+
+    @staticmethod
+    def established_subflows(conn: "MptcpConnection") -> List["Subflow"]:
+        """Established subflows, regardless of window space."""
+        return [sf for sf in conn.subflows if sf.established]
+
+    @staticmethod
+    def fastest(subflows: List["Subflow"]) -> Optional["Subflow"]:
+        """Smallest-SRTT subflow (ties broken by subflow id)."""
+        if not subflows:
+            return None
+        return min(subflows, key=lambda sf: (sf.srtt_or_default(), sf.sf_id))
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        """Choose the subflow for the next segment (or None to wait)."""
+        raise NotImplementedError
+
+    def duplicate_targets(
+        self, conn: "MptcpConnection", chosen: "Subflow"
+    ) -> List["Subflow"]:
+        """Extra subflows that should carry a *copy* of the segment.
+
+        Most schedulers never duplicate; the redundant scheduler overrides
+        this to trade bandwidth for latency.  Every returned subflow must
+        satisfy ``can_send()``.
+        """
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

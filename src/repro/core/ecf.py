@@ -1,0 +1,127 @@
+"""ECF: Earliest Completion First (Section 4, Algorithm 1).
+
+ECF asks a single question when the fastest subflow is momentarily full:
+*will sending the remaining data on a slower subflow finish later than
+just waiting for the fast one?*  It answers using everything the sender
+knows -- RTT estimates, congestion windows, and the amount of data still
+queued in the connection-level send buffer (``k``).
+
+With ``x_f``/``x_s`` the fastest and candidate subflows, ``n = 1 +
+k/CWND_f`` the number of fast-path rounds needed to move ``k``, and
+``delta = max(sigma_f, sigma_s)`` a variability margin, ECF waits for the
+fast subflow iff both::
+
+    n * RTT_f < (1 + waiting * beta) * (RTT_s + delta)        (worth waiting)
+    (k / CWND_s) * RTT_s >= 2 * RTT_f + delta                 (slow path really slower)
+
+The ``waiting`` flag adds hysteresis (``beta = 0.25`` in the paper's
+experiments) so the decision does not flap between consecutive segments.
+
+The payoff, per the paper: the fast subflow never sits idle waiting for a
+slow-path tail, so its congestion window is not reset by the idle-restart
+rule, and consecutive downloads (DASH chunks, Web objects) start with a
+hot window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.connection import MptcpConnection
+    from repro.tcp.subflow import Subflow
+
+#: Paper's hysteresis constant ("set to 0.25 throughout our experiments").
+DEFAULT_BETA = 0.25
+
+
+class EcfScheduler(Scheduler):
+    """Earliest Completion First.
+
+    Parameters
+    ----------
+    beta:
+        Hysteresis factor applied to the waiting threshold once the
+        scheduler is already in the waiting state.
+    use_second_inequality:
+        Ablation hook: when False, the additional
+        ``k/CWND_s * RTT_s >= 2 RTT_f + delta`` check is skipped and the
+        first inequality alone decides (DESIGN.md Section 5).
+    """
+
+    name = "ecf"
+
+    def __init__(self, beta: float = DEFAULT_BETA, use_second_inequality: bool = True) -> None:
+        super().__init__()
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta!r}")
+        self.beta = beta
+        self.use_second_inequality = use_second_inequality
+        self.waiting = False
+        self.wait_decisions = 0
+        self.send_on_slow_decisions = 0
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        self.decisions += 1
+        established = self.established_subflows(conn)
+        fastest = self.fastest(established)
+        if fastest is None:
+            self.waits += 1
+            return None
+        if fastest.can_send():
+            return fastest
+
+        # Fastest subflow is full: consider the default scheduler's pick
+        # among the remaining available subflows.
+        candidates = [sf for sf in established if sf is not fastest and sf.can_send()]
+        second = self.fastest(candidates)
+        if second is None:
+            self.waits += 1
+            return None
+
+        if self._should_wait_for_fast(conn, fastest, second):
+            self.waiting = True
+            self.wait_decisions += 1
+            self.waits += 1
+            return None
+        self.send_on_slow_decisions += 1
+        return second
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def _should_wait_for_fast(
+        self, conn: "MptcpConnection", fastest: "Subflow", second: "Subflow"
+    ) -> bool:
+        """Evaluate Algorithm 1's two inequalities.
+
+        ``k/CWND`` counts *transmission rounds*, each costing one RTT, so
+        it is taken as a whole number of rounds (ceil).  This matches the
+        paper's prose -- waiting for the fast subflow costs "at least
+        2RTT_f for transfer", i.e. one round of waiting plus >= 1 round of
+        sending -- and is required for the Section 3.2 worked example
+        (k = 1 leftover packet) to come out as "wait".
+        """
+        k_segments = conn.unassigned_bytes / conn.mss
+        rtt_f = fastest.srtt_or_default()
+        rtt_s = second.srtt_or_default()
+        cwnd_f = max(fastest.cwnd, 1.0)
+        cwnd_s = max(second.cwnd, 1.0)
+        delta = max(fastest.rtt.sigma, second.rtt.sigma)
+
+        n = 1.0 + math.ceil(k_segments / cwnd_f)
+        threshold = (1.0 + (self.beta if self.waiting else 0.0)) * (rtt_s + delta)
+        if n * rtt_f < threshold:
+            if not self.use_second_inequality:
+                return True
+            if math.ceil(k_segments / cwnd_s) * rtt_s >= 2.0 * rtt_f + delta:
+                return True
+            return False
+        self.waiting = False
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EcfScheduler(beta={self.beta}, waiting={self.waiting})"

@@ -1,0 +1,87 @@
+"""Additional baseline schedulers not evaluated in the paper.
+
+These are useful for calibration and ablation: ``roundrobin`` exposes the
+cost of ignoring RTT entirely, ``redundant`` trades goodput for latency by
+duplicating segments across paths (the policy the upstream MPTCP tree
+later shipped under the same name), and ``primary`` turns the connection
+into plain single-path TCP on the primary interface (what a non-MPTCP
+client would get).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.connection import MptcpConnection
+    from repro.tcp.subflow import Subflow
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle over available subflows irrespective of RTT."""
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        self.decisions += 1
+        n = len(conn.subflows)
+        for offset in range(n):
+            subflow = conn.subflows[(self._next + offset) % n]
+            if subflow.can_send():
+                self._next = (subflow.sf_id + 1) % n
+                return subflow
+        self.waits += 1
+        return None
+
+
+class RedundantScheduler(Scheduler):
+    """Duplicate every segment on every open subflow.
+
+    The classic latency-over-bandwidth scheduler (adopted later by the
+    upstream MPTCP tree as ``redundant``): each segment rides the
+    lowest-RTT open subflow *and* a copy rides every other open subflow,
+    so delivery latency is the minimum across paths at the cost of
+    goodput.  The receiver's DSN-level dedup absorbs the copies.
+    """
+
+    name = "redundant"
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        """New data rides only the lowest-RTT subflow.
+
+        Slower subflows never receive fresh data of their own -- they
+        exist to carry copies -- so the connection's progress is pinned to
+        the fastest path, which is the point of the policy.
+        """
+        self.decisions += 1
+        fastest = self.fastest(self.established_subflows(conn))
+        if fastest is not None and fastest.can_send():
+            return fastest
+        self.waits += 1
+        return None
+
+    def duplicate_targets(self, conn: "MptcpConnection", chosen: "Subflow"):
+        return [
+            sf for sf in conn.subflows
+            if sf is not chosen and sf.can_send()
+        ]
+
+
+class PrimaryOnlyScheduler(Scheduler):
+    """Single-path TCP: only the primary subflow ever carries data."""
+
+    name = "primary"
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        self.decisions += 1
+        primary = conn.subflows[0]
+        if primary.can_send():
+            return primary
+        self.waits += 1
+        return None

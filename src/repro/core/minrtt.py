@@ -1,0 +1,30 @@
+"""The MPTCP default scheduler: smallest RTT first.
+
+"The default path scheduler selects the subflow with the smallest RTT for
+which there is available congestion window space for packet transmission"
+(Section 2.1).  If that subflow is full it falls through to the next
+smallest RTT, and so on; it never declines to send.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.connection import MptcpConnection
+    from repro.tcp.subflow import Subflow
+
+
+class MinRttScheduler(Scheduler):
+    """Default MPTCP scheduler (lowest-RTT-first)."""
+
+    name = "minrtt"
+
+    def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
+        self.decisions += 1
+        choice = self.fastest(self.available_subflows(conn))
+        if choice is None:
+            self.waits += 1
+        return choice

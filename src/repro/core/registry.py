@@ -1,0 +1,67 @@
+"""Scheduler registry: construct a fresh scheduler instance by name.
+
+Schedulers carry per-connection state (ECF's hysteresis flag, DAPS's
+schedule), so the registry always returns a *new* instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import Scheduler
+from repro.core.blest import BlestScheduler
+from repro.core.daps import DapsScheduler
+from repro.core.ecf import EcfScheduler
+from repro.core.extras import (
+    PrimaryOnlyScheduler,
+    RedundantScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.minrtt import MinRttScheduler
+
+def _make_mpdash() -> Scheduler:
+    # Imported lazily: apps.dash depends on core, not the reverse.
+    from repro.apps.dash.mpdash import MpDashScheduler
+
+    return MpDashScheduler()
+
+
+_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
+    "minrtt": MinRttScheduler,
+    "default": MinRttScheduler,
+    "ecf": EcfScheduler,
+    "blest": BlestScheduler,
+    "daps": DapsScheduler,
+    "roundrobin": RoundRobinScheduler,
+    "redundant": RedundantScheduler,
+    "primary": PrimaryOnlyScheduler,
+    "mpdash": _make_mpdash,
+}
+
+#: Canonical user-facing scheduler names.  ("mpdash" additionally needs an
+#: :class:`~repro.apps.dash.mpdash.MpDashPathManager` wired to the player;
+#: the streaming runner does this automatically.)
+SCHEDULER_NAMES = (
+    "minrtt", "ecf", "blest", "daps", "roundrobin", "redundant", "primary",
+    "mpdash",
+)
+
+
+def make_scheduler(name: str, **params) -> Scheduler:
+    """Build a new scheduler by name.
+
+    ``params`` are passed to the scheduler constructor (e.g.
+    ``make_scheduler("ecf", beta=0.5)``).
+
+    Raises
+    ------
+    ValueError
+        For an unknown scheduler name.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(set(_FACTORIES))}"
+        ) from None
+    return factory(**params)

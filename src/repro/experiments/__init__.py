@@ -1,0 +1,31 @@
+"""Experiment harnesses: one entry point per paper figure/table.
+
+* :mod:`~repro.experiments.ideal` -- the paper's ideal-performance models
+  (ideal average bit rate, ideal fast-subflow traffic fraction).
+* :mod:`~repro.experiments.runner` -- configurable single-run harnesses
+  for streaming, bulk-download, and Web workloads.
+* :mod:`~repro.experiments.grid` -- the 6x6 / 10x10 bandwidth-grid sweeps
+  behind the heat-map figures.
+* :mod:`~repro.experiments.wild` -- the Section 6 in-the-wild emulation.
+"""
+
+from repro.experiments.ideal import ideal_average_bitrate, ideal_fast_fraction
+from repro.experiments.runner import (
+    StreamingRunConfig,
+    StreamingRunResult,
+    run_streaming,
+)
+from repro.experiments.grid import (
+    PAPER_BANDWIDTH_GRID_MBPS,
+    streaming_grid,
+)
+
+__all__ = [
+    "ideal_average_bitrate",
+    "ideal_fast_fraction",
+    "StreamingRunConfig",
+    "StreamingRunResult",
+    "run_streaming",
+    "streaming_grid",
+    "PAPER_BANDWIDTH_GRID_MBPS",
+]

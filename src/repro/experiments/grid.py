@@ -1,0 +1,122 @@
+"""Bandwidth-grid sweeps: the machinery behind the heat-map figures.
+
+The paper sweeps WiFi x LTE regulated bandwidths over
+``{0.3, 0.7, 1.1, 1.7, 4.2, 8.6}`` Mbps (Figs 2, 6, 7, 9, 10) and over
+``1..10`` Mbps for the wget matrices (Figs 18, 19).  :func:`streaming_grid`
+runs one streaming session per (wifi, lte) cell and scheduler and returns
+the ratio-to-ideal matrix plus the underlying run results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.apps.dash.media import VideoManifest
+from repro.experiments.ideal import ideal_average_bitrate
+from repro.experiments.runner import StreamingRunConfig, StreamingRunResult, run_streaming
+
+#: The paper's streaming bandwidth set (Mbps), chosen "slightly larger"
+#: than the Table 1 bit rates.
+PAPER_BANDWIDTH_GRID_MBPS: Tuple[float, ...] = (0.3, 0.7, 1.1, 1.7, 4.2, 8.6)
+
+Cell = Tuple[float, float]
+
+
+def streaming_grid(
+    base_config: StreamingRunConfig,
+    wifi_values_mbps: Sequence[float] = PAPER_BANDWIDTH_GRID_MBPS,
+    lte_values_mbps: Sequence[float] = PAPER_BANDWIDTH_GRID_MBPS,
+    runs_per_cell: int = 1,
+) -> Dict[Cell, List[StreamingRunResult]]:
+    """Run a streaming session for every (wifi, lte) bandwidth pair.
+
+    Returns a mapping ``(wifi_mbps, lte_mbps) -> [results...]`` with
+    ``runs_per_cell`` seeds per cell.
+    """
+    results: Dict[Cell, List[StreamingRunResult]] = {}
+    for wifi in wifi_values_mbps:
+        for lte in lte_values_mbps:
+            cell: List[StreamingRunResult] = []
+            for run_index in range(runs_per_cell):
+                config = replace(
+                    base_config,
+                    wifi_mbps=wifi,
+                    lte_mbps=lte,
+                    seed=base_config.seed + run_index,
+                )
+                cell.append(run_streaming(config))
+            results[(wifi, lte)] = cell
+    return results
+
+
+def bitrate_ratio_matrix(
+    grid: Dict[Cell, List[StreamingRunResult]],
+    chunk_duration: float = 5.0,
+    steady_state: bool = True,
+) -> Dict[Cell, float]:
+    """Measured-over-ideal average bit rate per cell (Figs 2, 9).
+
+    ``steady_state`` averages only post-startup chunks, which makes
+    scaled-down videos comparable to the paper's 20-minute runs (where
+    startup is a negligible fraction of the average).
+    """
+    ratios: Dict[Cell, float] = {}
+    for (wifi, lte), runs in grid.items():
+        manifest = VideoManifest(chunk_duration=chunk_duration)
+        ideal = ideal_average_bitrate([wifi * 1e6, lte * 1e6], manifest)
+        if steady_state:
+            measured = sum(r.metrics.steady_average_bitrate_bps for r in runs) / len(runs)
+        else:
+            measured = sum(r.average_bitrate_bps for r in runs) / len(runs)
+        ratios[(wifi, lte)] = min(1.0, measured / ideal) if ideal > 0 else 0.0
+    return ratios
+
+
+def fraction_fast_matrix(
+    grid: Dict[Cell, List[StreamingRunResult]],
+) -> Dict[Cell, float]:
+    """Mean fast-subflow traffic fraction per cell (Figs 7, 10)."""
+    return {
+        cell: sum(r.fraction_fast for r in runs) / len(runs)
+        for cell, runs in grid.items()
+    }
+
+
+def throughput_matrix(
+    grid: Dict[Cell, List[StreamingRunResult]],
+    steady_state: bool = True,
+) -> Dict[Cell, float]:
+    """Mean per-chunk download throughput per cell, bps (Fig 6)."""
+    if steady_state:
+        return {
+            cell: sum(r.metrics.steady_average_throughput_bps for r in runs) / len(runs)
+            for cell, runs in grid.items()
+        }
+    return {
+        cell: sum(r.average_chunk_throughput_bps for r in runs) / len(runs)
+        for cell, runs in grid.items()
+    }
+
+
+def format_matrix(
+    matrix: Dict[Cell, float],
+    wifi_values: Iterable[float],
+    lte_values: Iterable[float],
+    scale: float = 1.0,
+    width: int = 6,
+    precision: int = 2,
+) -> str:
+    """Render a cell->value mapping as an aligned text heat map."""
+    wifi_list = list(wifi_values)
+    lte_list = list(lte_values)
+    header = " " * (width + 1) + " ".join(f"{w:>{width}.1f}" for w in wifi_list)
+    lines = [header + "   (WiFi Mbps ->)"]
+    for lte in reversed(lte_list):
+        row = [f"{lte:>{width}.1f}"]
+        for wifi in wifi_list:
+            value = matrix[(wifi, lte)] * scale
+            row.append(f"{value:>{width}.{precision}f}")
+        lines.append(" ".join(row))
+    lines.append("(LTE Mbps ^)")
+    return "\n".join(lines)

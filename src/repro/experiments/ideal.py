@@ -1,0 +1,35 @@
+"""The paper's ideal-performance reference models.
+
+Two idealizations recur through the evaluation:
+
+* **ideal average bit rate** (Figs 2, 9, 15): "the minimum of the
+  aggregate total bandwidth and the bandwidth required for the highest
+  resolution";
+* **ideal fraction of traffic on the fast subflow** (Figs 7, 10): the
+  share a fluid model that keeps both pipes full would place there --
+  the fast path's share of aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.dash.media import PAPER_REPRESENTATIONS, VideoManifest
+
+
+def ideal_average_bitrate(
+    bandwidths_bps: Sequence[float],
+    manifest: VideoManifest = None,
+) -> float:
+    """Ideal average bit rate for a set of path bandwidths, bits/second."""
+    if manifest is None:
+        manifest = VideoManifest()
+    return manifest.ideal_average_bitrate(sum(bandwidths_bps))
+
+
+def ideal_fast_fraction(fast_bps: float, slow_bps: float) -> float:
+    """Fluid-model share of traffic the fast path should carry."""
+    total = fast_bps + slow_bps
+    if total <= 0:
+        raise ValueError("bandwidths must sum to a positive value")
+    return fast_bps / total

@@ -1,0 +1,88 @@
+"""Collate per-figure benchmark outputs into one reproduction report.
+
+Each benchmark harness under ``benchmarks/`` writes its paper-shaped table
+to ``benchmarks/output/<figure>.txt``.  :func:`collate_report` stitches
+those files into a single markdown document, in the paper's figure order,
+so the whole reproduction can be reviewed in one place::
+
+    pytest benchmarks/ --benchmark-only     # produce the outputs
+    python -m repro.cli report              # collate them
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+#: Paper order and titles for the collated report.
+FIGURE_INDEX: Tuple[Tuple[str, str], ...] = (
+    ("fig01_onoff", "Figure 1: ON-OFF download behaviour"),
+    ("fig02_default_heatmap", "Figure 2: bit-rate ratio, default scheduler"),
+    ("fig03_sndbuf", "Figure 3: send-buffer occupancy"),
+    ("fig05_lastpacket", "Figure 5: last-packet time difference CDF"),
+    ("fig06_cwnd_reset", "Figure 6: throughput with/without CWND reset"),
+    ("fig07_fraction_default", "Figure 7: fast-subflow fraction, default"),
+    ("tab02_rtt", "Table 2: average RTT per bandwidth regulation"),
+    ("fig09_scheduler_heatmaps", "Figure 9: bit-rate ratio, all schedulers"),
+    ("fig10_fraction_ecf", "Figure 10: fast-subflow fraction, BLEST/ECF"),
+    ("fig11_12_cwnd_traces", "Figures 11-12: CWND traces"),
+    ("tab03_iw_resets", "Table 3: initial-window resets"),
+    ("fig13_ooo_default", "Figure 13: out-of-order delay, default"),
+    ("fig14_ooo_schedulers", "Figure 14: out-of-order delay, all schedulers"),
+    ("fig15_four_subflows", "Figure 15: four subflows"),
+    ("fig16_random_bw", "Figure 16: random bandwidth scenarios"),
+    ("fig17_chunk_trace", "Figure 17: per-chunk throughput trace"),
+    ("fig18_wget", "Figure 18: wget completion times"),
+    ("fig19_wget_ratio", "Figure 19: ECF/default completion ratio"),
+    ("fig20_21_web", "Figures 20-21: Web browsing, testbed"),
+    ("fig22_wild_streaming", "Figure 22: streaming in the wild"),
+    ("fig23_tab04_wild_web", "Figure 23 / Table 4: Web browsing in the wild"),
+    ("ext_shared_bottleneck", "Extension: coupled-CC fairness on a shared bottleneck"),
+    ("ext_mpdash", "Extension: ECF vs MP-DASH-style path management"),
+    ("ablation_beta", "Ablation: ECF hysteresis beta"),
+    ("ablation_second_inequality", "Ablation: ECF second inequality"),
+    ("ablation_congestion_control", "Ablation: congestion controller"),
+)
+
+
+def collate_report(
+    output_dir: Path,
+    index: Sequence[Tuple[str, str]] = FIGURE_INDEX,
+) -> str:
+    """Build the markdown report from whatever outputs exist.
+
+    Missing figures are listed as not-yet-generated rather than failing,
+    so a partial benchmark run still collates.
+    """
+    sections: List[str] = [
+        "# ECF reproduction report",
+        "",
+        "Generated from `benchmarks/output/*.txt` "
+        "(run `pytest benchmarks/ --benchmark-only` to refresh).",
+    ]
+    missing: List[str] = []
+    for name, title in index:
+        path = output_dir / f"{name}.txt"
+        sections.append(f"\n## {title}\n")
+        if path.exists():
+            sections.append("```")
+            sections.append(path.read_text().rstrip())
+            sections.append("```")
+        else:
+            sections.append("*(not yet generated)*")
+            missing.append(name)
+    if missing:
+        sections.append(
+            "\n---\nMissing outputs: " + ", ".join(missing)
+        )
+    return "\n".join(sections) + "\n"
+
+
+def default_output_dir(start: Optional[Path] = None) -> Path:
+    """Locate ``benchmarks/output`` relative to the repository root."""
+    base = start or Path.cwd()
+    for candidate in (base, *base.parents):
+        output = candidate / "benchmarks" / "output"
+        if output.is_dir():
+            return output
+    return base / "benchmarks" / "output"

@@ -1,0 +1,225 @@
+"""Single-run experiment harnesses.
+
+:func:`run_streaming` builds the full stack -- paths, MPTCP connection,
+HTTP session, DASH player -- for one streaming session and returns every
+metric any of the paper's streaming figures needs: average bit rate,
+per-chunk throughput, fast-subflow traffic fraction, IW-reset counts,
+out-of-order delays, last-packet gaps, mean RTTs, and optional CWND /
+send-buffer / player traces.
+
+The same harness covers fixed bandwidths (Figs 2, 9), the idle-reset
+ablation (Fig 6), multi-subflow runs (Fig 15), random bandwidth processes
+(Figs 16, 17), and in-the-wild path profiles (Fig 22) -- each is just a
+different :class:`StreamingRunConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.dash.abr import make_abr
+from repro.apps.dash.media import VideoManifest
+from repro.apps.dash.player import DashPlayer, StreamingMetrics
+from repro.apps.http import HttpSession
+from repro.core.registry import make_scheduler
+from repro.metrics.collectors import PeriodicSampler
+from repro.mptcp.connection import ConnectionConfig, MptcpConnection
+from repro.net.path import Path
+from repro.net.profiles import PathConfig, lte_config, make_path, wifi_config
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class StreamingRunConfig:
+    """Everything one streaming session depends on.
+
+    ``wifi_mbps``/``lte_mbps`` set fixed regulated bandwidths; a
+    ``wifi_process``/``lte_process`` (anything with ``attach(sim, path)``)
+    overrides them over time; ``path_configs`` replaces the testbed
+    profiles entirely (used by the in-the-wild runs).
+    """
+
+    scheduler: str = "minrtt"
+    scheduler_params: Dict = field(default_factory=dict)
+    wifi_mbps: float = 8.6
+    lte_mbps: float = 8.6
+    video_duration: float = 120.0
+    chunk_duration: float = 5.0
+    seed: int = 0
+    congestion_control: str = "coupled"
+    idle_reset_enabled: bool = True
+    penalization_enabled: bool = True
+    abr: str = "bba"
+    max_buffer: float = 25.0
+    subflows_per_interface: int = 1
+    wifi_process: Optional[object] = None
+    lte_process: Optional[object] = None
+    path_configs: Optional[Sequence[PathConfig]] = None
+    record_traces: bool = False
+    record_delays: bool = True
+    sample_period: float = 0.1
+    time_limit: Optional[float] = None
+
+    def effective_time_limit(self) -> float:
+        """Simulation cap: generous but finite."""
+        if self.time_limit is not None:
+            return self.time_limit
+        return 3.0 * self.video_duration + 120.0
+
+
+@dataclass
+class StreamingRunResult:
+    """Everything the streaming figures read out of one session."""
+
+    config: StreamingRunConfig
+    metrics: StreamingMetrics
+    finished: bool
+    fast_interface: str
+    payload_by_interface: Dict[str, int]
+    iw_resets_by_interface: Dict[str, int]
+    idle_resets_by_interface: Dict[str, int]
+    mean_rtt_by_interface: Dict[str, float]
+    ooo_delays: List[float]
+    last_packet_gaps: List[float]
+    reinjections: int
+    trace: Optional[TraceRecorder]
+
+    @property
+    def average_bitrate_bps(self) -> float:
+        return self.metrics.average_bitrate_bps
+
+    @property
+    def average_chunk_throughput_bps(self) -> float:
+        """Mean per-chunk download throughput (Figs 6, 16)."""
+        rates = self.metrics.chunk_throughputs_bps()
+        return sum(rates) / len(rates) if rates else 0.0
+
+    @property
+    def fraction_fast(self) -> float:
+        """Share of payload carried by the fast interface (Figs 7, 10)."""
+        total = sum(self.payload_by_interface.values())
+        if total == 0:
+            return 0.0
+        return self.payload_by_interface.get(self.fast_interface, 0) / total
+
+
+def _build_paths(sim: Simulator, config: StreamingRunConfig, rngs: RngRegistry) -> List[Path]:
+    if config.path_configs is not None:
+        configs = list(config.path_configs)
+    else:
+        n = config.subflows_per_interface
+        if n < 1:
+            raise ValueError("subflows_per_interface must be >= 1")
+        # Fig 15: subflows over one interface evenly split its bandwidth.
+        configs = [wifi_config(config.wifi_mbps / n) for _ in range(n)]
+        configs += [lte_config(config.lte_mbps / n) for _ in range(n)]
+    return [
+        make_path(sim, pc, rngs.stream(f"loss.{index}.{pc.name}"))
+        for index, pc in enumerate(configs)
+    ]
+
+
+def _fast_interface(config: StreamingRunConfig, paths: List[Path]) -> str:
+    if config.path_configs is not None:
+        # Wild runs: the faster interface is the higher-bandwidth one.
+        return max(paths, key=lambda p: p.rate_bps).name
+    # Ties go to WiFi, whose RTT is lower at equal regulation (Table 2).
+    return "wifi" if config.wifi_mbps >= config.lte_mbps else "lte"
+
+
+def run_streaming(config: StreamingRunConfig) -> StreamingRunResult:
+    """Execute one full streaming session and collect its metrics."""
+    sim = Simulator()
+    rngs = RngRegistry(config.seed)
+    paths = _build_paths(sim, config, rngs)
+
+    if config.wifi_process is not None:
+        for path in paths:
+            if path.name == "wifi":
+                config.wifi_process.attach(sim, path)
+    if config.lte_process is not None:
+        for path in paths:
+            if path.name == "lte":
+                config.lte_process.attach(sim, path)
+
+    conn_config = ConnectionConfig(
+        congestion_control=config.congestion_control,
+        idle_reset_enabled=config.idle_reset_enabled,
+        penalization_enabled=config.penalization_enabled,
+        record_delays=config.record_delays,
+    )
+    scheduler = make_scheduler(config.scheduler, **config.scheduler_params)
+    conn = MptcpConnection(sim, paths, scheduler, config=conn_config, name="dash")
+    session = HttpSession(sim, conn)
+    manifest = VideoManifest(
+        duration=config.video_duration, chunk_duration=config.chunk_duration
+    )
+    trace = TraceRecorder() if config.record_traces else None
+    player = DashPlayer(
+        sim,
+        session,
+        manifest,
+        abr=make_abr(config.abr, manifest),
+        max_buffer=config.max_buffer,
+        trace=trace,
+    )
+
+    # MP-DASH is cross-layer: its path manager needs the player's chunk
+    # requirements.
+    from repro.apps.dash.mpdash import MpDashPathManager, MpDashScheduler
+
+    if isinstance(scheduler, MpDashScheduler):
+        MpDashPathManager(scheduler, conn).attach(player)
+
+    # Fig 5: per-download gap between the last packets on each interface.
+    last_packet_gaps: List[float] = []
+
+    def _record_gap(_result) -> None:
+        arrivals = conn.receiver.last_arrival_by_subflow
+        if len(arrivals) >= 2:
+            times = sorted(arrivals.values())
+            last_packet_gaps.append(times[-1] - times[0])
+
+    session.observers.append(_record_gap)
+
+    if trace is not None:
+        sampler = PeriodicSampler(sim, trace, period=config.sample_period)
+        for sf in conn.subflows:
+            label = f"{sf.path.name}{sf.sf_id}"
+            sampler.add(f"cwnd.{label}", lambda sf=sf: sf.cwnd)
+            sampler.add(f"sndbuf.{label}", lambda sf=sf: sf.outstanding_bytes)
+        sampler.start(until=config.effective_time_limit())
+
+    player.start()
+    sim.run(until=config.effective_time_limit())
+
+    payload: Dict[str, int] = {}
+    iw_resets: Dict[str, int] = {}
+    idle_resets: Dict[str, int] = {}
+    rtt_sums: Dict[str, List[float]] = {}
+    for sf in conn.subflows:
+        name = sf.path.name
+        payload[name] = payload.get(name, 0) + sf.stats.payload_bytes_sent
+        iw_resets[name] = iw_resets.get(name, 0) + sf.stats.iw_resets
+        idle_resets[name] = idle_resets.get(name, 0) + sf.stats.idle_resets
+        if sf.rtt.samples:
+            rtt_sums.setdefault(name, []).append(sf.rtt.mean_rtt)
+    mean_rtt = {name: sum(vals) / len(vals) for name, vals in rtt_sums.items()}
+
+    return StreamingRunResult(
+        config=config,
+        metrics=player.metrics,
+        finished=player.finished,
+        fast_interface=_fast_interface(config, paths),
+        payload_by_interface=payload,
+        iw_resets_by_interface=iw_resets,
+        idle_resets_by_interface=idle_resets,
+        mean_rtt_by_interface=mean_rtt,
+        ooo_delays=conn.receiver.ooo_delays,
+        last_packet_gaps=last_packet_gaps,
+        reinjections=conn.reinjections,
+        trace=trace,
+    )

@@ -1,0 +1,38 @@
+"""Measurement utilities: distribution statistics and periodic samplers."""
+
+from repro.metrics.stats import (
+    Summary,
+    cdf,
+    ccdf,
+    fraction_at_least,
+    fraction_at_most,
+    mean,
+    percentile,
+    stdev,
+    summarize,
+)
+from repro.metrics.collectors import PeriodicSampler, ThroughputMeter
+from repro.metrics.export import (
+    write_cdf_csv,
+    write_matrix_csv,
+    write_series_csv,
+    write_streaming_results_json,
+)
+
+__all__ = [
+    "write_series_csv",
+    "write_cdf_csv",
+    "write_matrix_csv",
+    "write_streaming_results_json",
+    "Summary",
+    "cdf",
+    "ccdf",
+    "percentile",
+    "mean",
+    "stdev",
+    "summarize",
+    "fraction_at_most",
+    "fraction_at_least",
+    "PeriodicSampler",
+    "ThroughputMeter",
+]

@@ -1,0 +1,94 @@
+"""Runtime collectors: periodic samplers and throughput meters.
+
+The paper's trace figures (CWND over time, send-buffer occupancy) are
+sampled periodically in the kernel; :class:`PeriodicSampler` does the same
+against any zero-argument probe.  :class:`ThroughputMeter` integrates
+delivered bytes into interval throughputs (Figs 6, 16, 22).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class PeriodicSampler:
+    """Samples named probes into a :class:`TraceRecorder` at a fixed period.
+
+    >>> # sampler = PeriodicSampler(sim, trace, period=0.05)
+    >>> # sampler.add("cwnd.lte", lambda: subflow.cwnd)
+    >>> # sampler.start(until=600.0)
+    """
+
+    def __init__(self, sim: Simulator, trace: TraceRecorder, period: float) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.sim = sim
+        self.trace = trace
+        self.period = period
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._until: Optional[float] = None
+        self._started = False
+
+    def add(self, series: str, probe: Callable[[], float]) -> None:
+        """Register a probe; its value is recorded under ``series``."""
+        self._probes[series] = probe
+
+    def start(self, until: Optional[float] = None) -> None:
+        """Begin sampling now and every ``period`` thereafter."""
+        if self._started:
+            raise RuntimeError("sampler already started")
+        self._started = True
+        self._until = until
+        self._tick()
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self._until is not None and now > self._until:
+            return
+        for series, probe in self._probes.items():
+            self.trace.record(series, now, float(probe()))
+        self.sim.schedule(self.period, self._tick)
+
+
+class ThroughputMeter:
+    """Accumulates byte deliveries and reports interval/average throughput."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.total_bytes = 0
+        self.first_byte_at: Optional[float] = None
+        self.last_byte_at: Optional[float] = None
+        self._marks: List[Tuple[float, int]] = []
+
+    def on_bytes(self, nbytes: int) -> None:
+        """Feed a delivery event (wire this to the receiver callback)."""
+        now = self.sim.now
+        if self.first_byte_at is None:
+            self.first_byte_at = now
+        self.last_byte_at = now
+        self.total_bytes += nbytes
+
+    def mark(self) -> None:
+        """Snapshot (now, total) -- delimits an interval of interest."""
+        self._marks.append((self.sim.now, self.total_bytes))
+
+    def interval_throughput_bps(self) -> List[float]:
+        """Throughput of each interval between consecutive marks."""
+        rates: List[float] = []
+        for (t0, b0), (t1, b1) in zip(self._marks, self._marks[1:]):
+            if t1 > t0:
+                rates.append((b1 - b0) * 8.0 / (t1 - t0))
+        return rates
+
+    def average_throughput_bps(self, elapsed: Optional[float] = None) -> float:
+        """Mean delivered rate over ``elapsed`` (or first-to-last byte)."""
+        if elapsed is None:
+            if self.first_byte_at is None or self.last_byte_at is None:
+                return 0.0
+            elapsed = self.last_byte_at - self.first_byte_at
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / elapsed

@@ -1,0 +1,109 @@
+"""Export experiment results to JSON and CSV for external plotting.
+
+The benchmark harnesses write human-readable tables; these helpers write
+machine-readable artifacts: CDF/CCDF series, grid matrices, and streaming
+run summaries, in formats gnuplot/matplotlib/pandas ingest directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.metrics.stats import cdf, ccdf
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import StreamingRunResult
+
+PathLike = Union[str, Path]
+
+
+def write_series_csv(
+    path: PathLike,
+    series: Iterable[Tuple[float, float]],
+    header: Tuple[str, str] = ("x", "y"),
+) -> None:
+    """Write one (x, y) series as a two-column CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for x, y in series:
+            writer.writerow([x, y])
+
+
+def write_cdf_csv(path: PathLike, samples: Sequence[float], complementary: bool = False) -> None:
+    """Write the empirical CDF (or CCDF) of a sample set as CSV."""
+    points = ccdf(samples) if complementary else cdf(samples)
+    header = ("value", "ccdf" if complementary else "cdf")
+    write_series_csv(path, points, header)
+
+
+def write_matrix_csv(
+    path: PathLike,
+    matrix: Dict[Tuple[float, float], float],
+    row_label: str = "lte_mbps",
+    col_label: str = "wifi_mbps",
+) -> None:
+    """Write a (wifi, lte) -> value matrix as a long-form CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([col_label, row_label, "value"])
+        for (col, row), value in sorted(matrix.items()):
+            writer.writerow([col, row, value])
+
+
+def streaming_result_to_dict(result: "StreamingRunResult") -> Dict:
+    """Flatten a streaming run into a JSON-serializable summary."""
+    metrics = result.metrics
+    return {
+        "scheduler": result.config.scheduler,
+        "wifi_mbps": result.config.wifi_mbps,
+        "lte_mbps": result.config.lte_mbps,
+        "video_duration": result.config.video_duration,
+        "seed": result.config.seed,
+        "finished": result.finished,
+        "average_bitrate_bps": metrics.average_bitrate_bps,
+        "steady_average_bitrate_bps": metrics.steady_average_bitrate_bps,
+        "average_chunk_throughput_bps": result.average_chunk_throughput_bps,
+        "steady_average_throughput_bps": metrics.steady_average_throughput_bps,
+        "fraction_fast": result.fraction_fast,
+        "fast_interface": result.fast_interface,
+        "iw_resets": dict(result.iw_resets_by_interface),
+        "idle_resets": dict(result.idle_resets_by_interface),
+        "mean_rtt_s": dict(result.mean_rtt_by_interface),
+        "rebuffer_time_s": metrics.rebuffer_time,
+        "rebuffer_events": metrics.rebuffer_events,
+        "reinjections": result.reinjections,
+        "chunks": [
+            {
+                "index": c.index,
+                "representation": c.representation.name,
+                "bitrate_bps": c.representation.bitrate_bps,
+                "requested_at": c.requested_at,
+                "completed_at": c.completed_at,
+                "size": c.size,
+                "throughput_bps": c.throughput_bps,
+            }
+            for c in metrics.chunks
+        ],
+    }
+
+
+def write_streaming_results_json(
+    path: PathLike, results: Sequence["StreamingRunResult"]
+) -> None:
+    """Dump a batch of streaming runs as a JSON array."""
+    payload: List[Dict] = [streaming_result_to_dict(r) for r in results]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_streaming_results_json(path: PathLike) -> List[Dict]:
+    """Read back a batch written by :func:`write_streaming_results_json`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise ValueError(f"{path!s}: expected a JSON array of run summaries")
+    return payload

@@ -1,0 +1,117 @@
+"""Distribution statistics used across the experiment harnesses.
+
+The paper reports results as means, CDFs (Fig 5), and CCDFs (Figs 13, 14,
+20, 21, 23); these helpers compute exactly those from raw sample lists,
+with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean.  Raises ValueError on an empty sequence."""
+    if not samples:
+        raise ValueError("mean() of empty sequence")
+    return sum(samples) / len(samples)
+
+
+def stdev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); 0.0 for fewer than two samples."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    m = mean(samples)
+    return math.sqrt(sum((x - m) ** 2 for x in samples) / (n - 1))
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not samples:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lower = int(math.floor(pos))
+    upper = int(math.ceil(pos))
+    if lower == upper:
+        return ordered[lower]
+    frac = pos - lower
+    return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+
+def cdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF points ``(x, P[X <= x])``, one per distinct value."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def ccdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Complementary CDF points ``(x, P[X > x])``."""
+    return [(x, 1.0 - p) for x, p in cdf(samples)]
+
+
+def fraction_at_most(samples: Sequence[float], threshold: float) -> float:
+    """P[X <= threshold] over the sample set (0.0 if empty)."""
+    if not samples:
+        return 0.0
+    return sum(1 for x in samples if x <= threshold) / len(samples)
+
+
+def fraction_at_least(samples: Sequence[float], threshold: float) -> float:
+    """P[X >= threshold] over the sample set (0.0 if empty)."""
+    if not samples:
+        return 0.0
+    return sum(1 for x in samples if x >= threshold) / len(samples)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4f} sd={self.stdev:.4f} "
+            f"min={self.minimum:.4f} med={self.median:.4f} "
+            f"p95={self.p95:.4f} p99={self.p99:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; raises ValueError on an empty sequence."""
+    if not samples:
+        raise ValueError("summarize() of empty sequence")
+    return Summary(
+        count=len(samples),
+        mean=mean(samples),
+        stdev=stdev(samples),
+        minimum=min(samples),
+        median=percentile(samples, 50.0),
+        p95=percentile(samples, 95.0),
+        p99=percentile(samples, 99.0),
+        maximum=max(samples),
+    )

@@ -1,0 +1,17 @@
+"""Discrete-event simulation engine.
+
+This package provides the substrate every other subsystem runs on:
+
+* :class:`~repro.sim.engine.Simulator` -- a heap-based event loop with a
+  simulated clock and cancellable timers.
+* :class:`~repro.sim.rng.RngRegistry` -- named, independently seeded random
+  streams so experiments are reproducible event-order-independently.
+* :class:`~repro.sim.trace.TraceRecorder` -- lightweight named time-series
+  collection used for CWND traces, send-buffer occupancy, etc.
+"""
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Simulator", "Timer", "RngRegistry", "TraceRecorder"]

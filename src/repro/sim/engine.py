@@ -1,0 +1,180 @@
+"""Heap-based discrete-event simulator.
+
+The engine is intentionally small: a priority queue of ``(time, seq,
+callback)`` entries, a simulated clock, and cancellable :class:`Timer`
+handles.  Everything else in the library (links, TCP subflows, DASH players)
+is expressed as callbacks scheduled on one :class:`Simulator` instance.
+
+Determinism: ties in event time are broken by a monotonically increasing
+sequence number, so two runs with the same seed execute events in the same
+order regardless of hash randomization or dict ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (negative delays, etc.)."""
+
+
+class Timer:
+    """Handle for a scheduled event.
+
+    A ``Timer`` can be cancelled before it fires; cancellation is O(1) --
+    the entry stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Safe to call more than once."""
+        self.cancelled = True
+        # Drop references so cancelled timers sitting in the heap do not
+        # keep large object graphs (packets, connections) alive.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is scheduled and not cancelled."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Timer") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        return f"Timer(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Discrete-event simulation core.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []  # entries: (time, seq, Timer)
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time!r} < now={self.now!r}"
+            )
+        self._seq += 1
+        timer = Timer(time, self._seq, callback, args)
+        # Heap entries are plain tuples: C-level comparisons are several
+        # times faster than calling Timer.__lt__ for every sift.
+        heapq.heappush(self._heap, (time, self._seq, timer))
+        return timer
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` are executed, and the clock is advanced to
+            ``until`` even if the event queue drains earlier.
+        max_events:
+            Safety valve for tests; stop after this many events.
+
+        Returns
+        -------
+        int
+            Number of (non-cancelled) events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                time, _, timer = heap[0]
+                if timer.cancelled:
+                    pop(heap)
+                    continue
+                if until is not None and time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                pop(heap)
+                self.now = time
+                timer.cancelled = True  # consumed; cancel() after firing is a no-op
+                timer.callback(*timer.args)
+                executed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return executed
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        return self.run(max_events=1) == 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed over the simulator's lifetime."""
+        return self._events_processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

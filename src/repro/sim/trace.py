@@ -1,0 +1,81 @@
+"""Lightweight named time-series recording.
+
+Used throughout the library to collect the traces the paper plots: CWND over
+time (Figs 11-12), send-buffer occupancy (Fig 3), player download progress
+(Fig 1).  Recording is append-only and can be disabled globally for large
+parameter sweeps where only summary statistics matter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+Sample = Tuple[float, float]
+
+
+class TraceRecorder:
+    """Collects ``(time, value)`` samples into named series."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._series: Dict[str, List[Sample]] = {}
+
+    def record(self, series: str, time: float, value: float) -> None:
+        """Append one sample; no-op when the recorder is disabled."""
+        if not self.enabled:
+            return
+        self._series.setdefault(series, []).append((time, value))
+
+    def series(self, name: str) -> List[Sample]:
+        """Samples of one series (empty list if never recorded)."""
+        return self._series.get(name, [])
+
+    def names(self) -> List[str]:
+        """Sorted names of all recorded series."""
+        return sorted(self._series)
+
+    def last(self, name: str) -> Sample:
+        """Most recent sample of a series.
+
+        Raises
+        ------
+        KeyError
+            If the series has no samples.
+        """
+        samples = self._series.get(name)
+        if not samples:
+            raise KeyError(f"no samples recorded for series {name!r}")
+        return samples[-1]
+
+    def values(self, name: str) -> List[float]:
+        """Just the values of a series, in time order."""
+        return [v for _, v in self.series(name)]
+
+    def times(self, name: str) -> List[float]:
+        """Just the timestamps of a series, in time order."""
+        return [t for t, _ in self.series(name)]
+
+    def window(self, name: str, start: float, end: float) -> List[Sample]:
+        """Samples with ``start <= time <= end``."""
+        return [(t, v) for t, v in self.series(name) if start <= t <= end]
+
+    def merge(self, other: "TraceRecorder", prefix: str = "") -> None:
+        """Copy all series from ``other`` into this recorder."""
+        for name in other.names():
+            dest = self._series.setdefault(prefix + name, [])
+            dest.extend(other.series(name))
+
+    def extend(self, series: str, samples: Iterable[Sample]) -> None:
+        """Bulk-append pre-timestamped samples (bypasses ``enabled``)."""
+        self._series.setdefault(series, []).extend(samples)
+
+    def clear(self) -> None:
+        """Drop all recorded series."""
+        self._series.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {k: len(v) for k, v in self._series.items()}
+        return f"TraceRecorder(enabled={self.enabled}, series={sizes})"

@@ -1,0 +1,73 @@
+"""OLIA: opportunistic linked-increases algorithm (Khalili et al. CoNEXT'12).
+
+For each ACK on subflow *i* in congestion avoidance::
+
+    cwnd_i += ( cwnd_i / rtt_i^2 ) / ( sum_j cwnd_j / rtt_j )^2  +  alpha_i / cwnd_i
+
+where ``alpha_i`` shifts traffic toward the *best* paths:
+
+* ``M`` = paths with maximum ``l_i^2 / rtt_i`` (``l_i`` = bytes transmitted
+  since the last loss, a proxy for path quality);
+* ``B`` = best paths that currently have the largest window ("collected"
+  paths in the paper's terminology are best paths with small windows);
+* paths in ``M`` with small windows get ``+1/(|M| * n)``, paths with the
+  largest window that are not in ``M`` get ``-1/(|B'| * n)``, everything
+  else 0 (``n`` = number of paths).
+
+This is the standard simulator-grade OLIA used outside the kernel; it
+preserves OLIA's defining behaviour (probing toward better paths without
+flappiness) which is all the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.tcp.cc.base import CongestionController
+from repro.tcp.cc.coupled import DEFAULT_RTT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tcp.subflow import Subflow
+
+_EPS = 1e-12
+
+
+class OliaController(CongestionController):
+    """OLIA coupled increase."""
+
+    name = "olia"
+
+    def _quality(self, sf: "Subflow") -> float:
+        rtt = sf.rtt.smoothed_or(DEFAULT_RTT)
+        inter_loss = max(float(sf.stats.bytes_since_loss), float(sf.mss))
+        return inter_loss * inter_loss / rtt
+
+    def _alpha(self, subflow: "Subflow") -> float:
+        paths: List["Subflow"] = self.subflows
+        n = len(paths)
+        if n <= 1:
+            return 0.0
+        best_quality = max(self._quality(sf) for sf in paths)
+        best = [sf for sf in paths if self._quality(sf) >= best_quality * (1 - 1e-9)]
+        max_cwnd = max(sf.cwnd for sf in paths)
+        largest = [sf for sf in paths if sf.cwnd >= max_cwnd * (1 - 1e-9)]
+        collected = [sf for sf in best if sf.cwnd < max_cwnd * (1 - 1e-9)]
+        if collected:
+            if subflow in collected:
+                return 1.0 / (len(collected) * n)
+            if subflow in largest:
+                return -1.0 / (len(largest) * n)
+            return 0.0
+        return 0.0
+
+    def ca_increase(self, subflow: "Subflow") -> float:
+        denom = 0.0
+        for sf in self.subflows:
+            denom += sf.cwnd / sf.rtt.smoothed_or(DEFAULT_RTT)
+        denom = max(denom, _EPS)
+        rtt_i = subflow.rtt.smoothed_or(DEFAULT_RTT)
+        # For a single path this reduces to Reno's 1/cwnd.
+        increase = (subflow.cwnd / (rtt_i * rtt_i)) / (denom * denom)
+        total = increase + self._alpha(subflow) / max(subflow.cwnd, 1.0)
+        # Never shrink faster than a segment per ACK nor outgrow slow start.
+        return max(-1.0, min(1.0, total))

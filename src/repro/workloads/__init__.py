@@ -1,0 +1,12 @@
+"""Workload generators: Web pages, file matrices, bandwidth scenarios."""
+
+from repro.workloads.web import WebPage, cnn_like_page, run_web_browsing, WebBrowsingResult
+from repro.workloads.scenarios import random_bandwidth_scenarios
+
+__all__ = [
+    "WebPage",
+    "cnn_like_page",
+    "run_web_browsing",
+    "WebBrowsingResult",
+    "random_bandwidth_scenarios",
+]

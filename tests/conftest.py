@@ -1,0 +1,58 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_scheduler
+from repro.mptcp.connection import ConnectionConfig, MptcpConnection
+from repro.net.link import Link
+from repro.net.path import Path
+from repro.net.profiles import PathConfig, lte_config, make_path, wifi_config
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def build_path(
+    sim: Simulator,
+    rate_mbps: float = 10.0,
+    one_way_delay: float = 0.01,
+    queue_bytes: int = 300_000,
+    name: str = "path",
+) -> Path:
+    """A simple symmetric path for unit tests."""
+    forward = Link(sim, rate_mbps * 1e6, one_way_delay, queue_bytes, name=f"{name}-fwd")
+    reverse = Link(sim, rate_mbps * 1e6, one_way_delay, queue_bytes, name=f"{name}-rev")
+    return Path(name, forward, reverse)
+
+
+def build_connection(
+    sim: Simulator,
+    scheduler_name: str = "minrtt",
+    path_specs=((10.0, 0.01), (10.0, 0.05)),
+    handshake_delays: bool = False,
+    **config_kwargs,
+) -> MptcpConnection:
+    """An MPTCP connection over simple paths; handshakes off by default."""
+    paths = [
+        build_path(sim, rate_mbps=rate, one_way_delay=delay, name=f"p{i}")
+        for i, (rate, delay) in enumerate(path_specs)
+    ]
+    config = ConnectionConfig(handshake_delays=handshake_delays, **config_kwargs)
+    scheduler = make_scheduler(scheduler_name)
+    return MptcpConnection(sim, paths, scheduler, config=config)
+
+
+def drain(sim: Simulator, limit: float = 300.0) -> None:
+    """Run the simulation to completion (bounded)."""
+    sim.run(until=limit)
+
+
+@pytest.fixture
+def testbed_paths(sim):
+    """The paper's testbed profile pair at moderate heterogeneity."""
+    return [make_path(sim, wifi_config(1.0)), make_path(sim, lte_config(8.6))]

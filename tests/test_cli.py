@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("1000") == 1000
+
+    def test_kilobytes(self):
+        assert parse_size("512k") == 512 * 1024
+
+    def test_megabytes(self):
+        assert parse_size("2m") == 2 * 1024 * 1024
+
+    def test_case_insensitive(self):
+        assert parse_size("1M") == 1024 * 1024
+
+    def test_rejects_garbage(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("lots")
+
+    def test_rejects_nonpositive(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_size("0")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_download_defaults(self):
+        args = build_parser().parse_args(["download"])
+        assert args.scheduler == ["minrtt", "ecf"]
+        assert args.size == 512 * 1024
+
+    def test_scheduler_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["download", "--scheduler", "nope"])
+
+
+class TestCommands:
+    def test_download_runs(self, capsys):
+        assert main([
+            "download", "--scheduler", "ecf", "--size", "64k",
+            "--wifi", "2", "--lte", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ecf" in out
+
+    def test_streaming_runs(self, capsys):
+        assert main([
+            "streaming", "--scheduler", "ecf", "--wifi", "4.2", "--lte", "8.6",
+            "--video", "15",
+        ]) == 0
+        assert "ideal bit rate" in capsys.readouterr().out
+
+    def test_web_runs(self, capsys):
+        assert main(["web", "--scheduler", "minrtt", "--wifi", "5", "--lte", "5"]) == 0
+        assert "page load" in capsys.readouterr().out
+
+    def test_wild_runs(self, capsys):
+        assert main(["wild", "--runs", "2", "--video", "15"]) == 0
+        assert "wifi rtt" in capsys.readouterr().out

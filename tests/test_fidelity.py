@@ -1,0 +1,40 @@
+"""Tests for the executable fidelity battery."""
+
+from repro.experiments.fidelity import (
+    ALL_CHECKS,
+    CheckResult,
+    FidelityReport,
+    validate_transport,
+)
+
+
+class TestBattery:
+    def test_full_battery_passes(self):
+        report = validate_transport()
+        assert report.passed, report.summary()
+
+    def test_every_check_has_a_measurement(self):
+        report = validate_transport()
+        assert len(report.checks) == len(ALL_CHECKS)
+        for check in report.checks:
+            assert check.measured == check.measured  # not NaN
+            assert check.expectation
+
+    def test_summary_renders_all_checks(self):
+        report = validate_transport()
+        text = report.summary()
+        for check in report.checks:
+            assert check.name in text
+
+
+class TestReportMechanics:
+    def test_failed_check_fails_report(self):
+        report = FidelityReport(checks=[
+            CheckResult("good", True, 1.0, "x"),
+            CheckResult("bad", False, 0.0, "y"),
+        ])
+        assert not report.passed
+        assert "FAIL" in report.summary()
+
+    def test_empty_report_passes(self):
+        assert FidelityReport().passed

@@ -1,0 +1,130 @@
+"""Tests for the connection-level receiver (reorder buffer)."""
+
+import pytest
+
+from repro.mptcp.receiver import MptcpReceiver
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def data(dsn, payload=100, sf=0):
+    return Packet(size=payload + 60, payload=payload, dsn=dsn, subflow_id=sf)
+
+
+@pytest.fixture
+def rx(sim):
+    return MptcpReceiver(sim)
+
+
+class TestInOrder:
+    def test_in_order_delivery(self, sim, rx):
+        delivered = []
+        rx.on_deliver = delivered.append
+        rx.on_data(data(0))
+        rx.on_data(data(100))
+        assert delivered == [100, 100]
+        assert rx.expected_dsn == 200
+        assert rx.delivered_bytes == 200
+
+    def test_in_order_has_zero_ooo_delay(self, sim, rx):
+        rx.on_data(data(0))
+        assert rx.ooo_delays == [0.0]
+
+    def test_data_ack_tracks_expected(self, sim, rx):
+        rx.on_data(data(0))
+        assert rx.data_ack == 100
+
+
+class TestReordering:
+    def test_gap_buffers_until_filled(self, sim, rx):
+        delivered = []
+        rx.on_deliver = delivered.append
+        rx.on_data(data(100))
+        assert delivered == []
+        assert rx.buffered_bytes == 100
+        rx.on_data(data(0))
+        assert delivered == [100, 100]
+        assert rx.buffered_bytes == 0
+
+    def test_ooo_delay_measures_buffer_wait(self, sim, rx):
+        rx.on_data(data(100))
+        sim.schedule(0.5, rx.on_data, data(0))
+        sim.run()
+        # First delivered packet (dsn 0) waited 0; buffered one waited 0.5.
+        assert rx.ooo_delays == [0.0, pytest.approx(0.5)]
+
+    def test_multiple_gaps_drain_in_order(self, sim, rx):
+        delivered = []
+        rx.on_deliver = delivered.append
+        rx.on_data(data(200))
+        rx.on_data(data(100))
+        rx.on_data(data(0))
+        assert rx.expected_dsn == 300
+        assert len(delivered) == 3
+
+    def test_max_buffered_tracked(self, sim, rx):
+        rx.on_data(data(100))
+        rx.on_data(data(200))
+        assert rx.max_buffered_bytes == 200
+
+    def test_buffered_segments_counts(self, sim, rx):
+        rx.on_data(data(100))
+        rx.on_data(data(300))
+        assert rx.buffered_segments == 2
+
+
+class TestDuplicates:
+    def test_old_duplicate_ignored(self, sim, rx):
+        rx.on_data(data(0))
+        rx.on_data(data(0))
+        assert rx.duplicate_packets == 1
+        assert rx.delivered_bytes == 100
+
+    def test_buffered_duplicate_ignored(self, sim, rx):
+        rx.on_data(data(100))
+        rx.on_data(data(100))
+        assert rx.duplicate_packets == 1
+        assert rx.buffered_bytes == 100
+
+    def test_reinjected_copy_after_delivery_ignored(self, sim, rx):
+        rx.on_data(data(0))
+        rx.on_data(data(100))
+        rx.on_data(data(100))  # late original after reinjection delivered
+        assert rx.delivered_bytes == 200
+        assert rx.duplicate_packets == 1
+
+
+class TestRecvWindow:
+    def test_window_shrinks_with_buffered_data(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=1000)
+        rx.on_data(data(500, payload=400))
+        assert rx.recv_window == 600
+
+    def test_window_recovers_after_drain(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=1000)
+        rx.on_data(data(100, payload=400))
+        rx.on_data(data(0))
+        assert rx.recv_window == 1000
+
+    def test_window_never_negative(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=300)
+        rx.on_data(data(100, payload=400))
+        assert rx.recv_window == 0
+
+    def test_rejects_nonpositive_buffer(self, sim):
+        with pytest.raises(ValueError):
+            MptcpReceiver(sim, recv_buffer_bytes=0)
+
+
+class TestLastArrival:
+    def test_last_arrival_tracked_per_subflow(self, sim, rx):
+        rx.on_data(data(0, sf=0))
+        sim.schedule(1.0, rx.on_data, data(100, sf=1))
+        sim.run()
+        assert rx.last_arrival_by_subflow == {0: 0.0, 1: 1.0}
+
+    def test_record_delays_can_be_disabled(self, sim):
+        rx = MptcpReceiver(sim, record_delays=False)
+        rx.on_data(data(0))
+        assert rx.ooo_delays == []
+        assert rx.delivered_bytes == 100

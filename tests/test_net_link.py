@@ -1,0 +1,176 @@
+"""Tests for the link model: serialization, queueing, drops, loss."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+def make_link(sim, rate_bps=1e6, delay=0.01, queue_bytes=10_000, **kw):
+    return Link(sim, rate_bps, delay, queue_bytes, **kw)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_rate(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, rate_bps=0)
+
+    def test_rejects_negative_delay(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, delay=-1)
+
+    def test_rejects_nonpositive_queue(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, queue_bytes=0)
+
+    def test_rejects_invalid_loss_rate(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, loss_rate=1.5, rng=random.Random(0))
+
+    def test_loss_requires_rng(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, loss_rate=0.1)
+
+
+class TestTiming:
+    def test_delivery_time_is_serialization_plus_propagation(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.05)
+        arrivals = []
+        link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        sim.run()
+        # 1250 bytes at 1 Mbps = 10 ms, plus 50 ms propagation.
+        assert arrivals == [pytest.approx(0.06)]
+
+    def test_back_to_back_packets_serialize_sequentially(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.0)
+        arrivals = []
+        for _ in range(3):
+            link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [pytest.approx(0.01), pytest.approx(0.02), pytest.approx(0.03)]
+
+    def test_rate_change_applies_to_next_transmission(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.0)
+        arrivals = []
+        link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        link.set_rate(2e6)  # second packet transmits at the new rate
+        sim.run()
+        assert arrivals[0] == pytest.approx(0.01)
+        assert arrivals[1] == pytest.approx(0.015)
+
+    def test_idle_link_transmits_immediately(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.0)
+        arrivals = []
+        link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        sim.run()
+        link.send(Packet(size=1250), lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals[1] == pytest.approx(arrivals[0] + 0.01)
+
+    def test_transit_estimate(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.05)
+        assert link.transit_estimate(1250) == pytest.approx(0.06)
+
+
+class TestQueueing:
+    def test_full_queue_drops_packet(self, sim):
+        link = make_link(sim, queue_bytes=2500)
+        delivered = []
+        # First begins transmission; next two fill the 2500-byte queue.
+        for _ in range(3):
+            assert link.send(Packet(size=1250), lambda p: delivered.append(p))
+        # Fourth does not fit.
+        assert not link.send(Packet(size=1250), lambda p: delivered.append(p))
+        sim.run()
+        assert len(delivered) == 3
+        assert link.stats.packets_dropped_queue == 1
+
+    def test_queue_drains_in_fifo_order(self, sim):
+        link = make_link(sim, delay=0.0)
+        order = []
+        for i in range(4):
+            link.send(Packet(size=100, seq=i), lambda p: order.append(p.seq))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_queued_bytes_tracks_waiting_packets(self, sim):
+        link = make_link(sim)
+        link.send(Packet(size=1000), lambda p: None)  # transmitting
+        link.send(Packet(size=1000), lambda p: None)  # queued
+        assert link.queued_bytes == 1000
+        assert link.queue_depth == 1
+
+    def test_busy_flag(self, sim):
+        link = make_link(sim)
+        assert not link.busy
+        link.send(Packet(size=100), lambda p: None)
+        assert link.busy
+        sim.run()
+        assert not link.busy
+
+    def test_on_drop_callback_fires(self, sim):
+        link = make_link(sim, queue_bytes=100)
+        dropped = []
+        link.on_drop = dropped.append
+        link.send(Packet(size=100), lambda p: None)
+        link.send(Packet(size=101), lambda p: None)  # too big for queue
+        assert len(dropped) == 1
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self, sim):
+        link = make_link(sim, queue_bytes=1_000_000)
+        delivered = []
+        for _ in range(50):
+            link.send(Packet(size=100), lambda p: delivered.append(p))
+        sim.run()
+        assert len(delivered) == 50
+
+    def test_random_loss_drops_roughly_at_rate(self, sim):
+        link = make_link(
+            sim, queue_bytes=10_000_000, loss_rate=0.3, rng=random.Random(42)
+        )
+        delivered = []
+        n = 2000
+        for _ in range(n):
+            link.send(Packet(size=100), lambda p: delivered.append(p))
+        sim.run()
+        drop_fraction = link.stats.packets_dropped_random / n
+        assert 0.25 < drop_fraction < 0.35
+        assert len(delivered) + link.stats.packets_dropped_random == n
+
+    def test_loss_returns_false_from_send(self, sim):
+        link = make_link(sim, loss_rate=0.999999, rng=random.Random(1), queue_bytes=10_000)
+        assert link.send(Packet(size=100), lambda p: None) is False
+
+
+class TestConservation:
+    def test_every_packet_delivered_or_dropped(self, sim):
+        link = make_link(sim, queue_bytes=3000, loss_rate=0.1, rng=random.Random(7))
+        delivered = []
+        n = 500
+        for _ in range(n):
+            link.send(Packet(size=500), lambda p: delivered.append(p))
+            sim.run(until=sim.now + 0.001)
+        sim.run()
+        stats = link.stats
+        assert stats.packets_in == n
+        assert len(delivered) == stats.packets_delivered
+        assert stats.packets_delivered + stats.packets_dropped == n
+
+    def test_utilization_bounded(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.0, queue_bytes=1_000_000)
+        for _ in range(100):
+            link.send(Packet(size=1250), lambda p: None)
+        sim.run()
+        assert 0.0 < link.stats.utilization(sim.now) <= 1.0
+
+    def test_bytes_delivered_counts_wire_bytes(self, sim):
+        link = make_link(sim)
+        link.send(Packet(size=700), lambda p: None)
+        sim.run()
+        assert link.stats.bytes_delivered == 700

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import ccdf, cdf, mean, percentile, stdev
+from repro.mptcp.receiver import MptcpReceiver
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.rtt import RttEstimator
+
+finite_floats = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+
+
+class TestStatsProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_cdf_is_monotone_and_ends_at_one(self, samples):
+        points = cdf(samples)
+        probs = [p for _, p in points]
+        xs = [x for x, _ in points]
+        assert xs == sorted(xs)
+        assert probs == sorted(probs)
+        assert abs(probs[-1] - 1.0) < 1e-9
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_ccdf_complements(self, samples):
+        for (x1, p), (x2, q) in zip(cdf(samples), ccdf(samples)):
+            assert x1 == x2
+            assert abs(p + q - 1.0) < 1e-9
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_percentiles_bounded_by_extremes(self, samples):
+        for q in (0, 25, 50, 75, 100):
+            value = percentile(samples, q)
+            assert min(samples) - 1e-9 <= value <= max(samples) + 1e-9
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_mean_between_extremes(self, samples):
+        assert min(samples) - 1e-9 <= mean(samples) <= max(samples) + 1e-9
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_stdev_nonnegative(self, samples):
+        assert stdev(samples) >= 0.0
+
+
+class TestRttEstimatorProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=100))
+    def test_srtt_stays_within_sample_range(self, samples):
+        est = RttEstimator()
+        for sample in samples:
+            est.add_sample(sample)
+        assert min(samples) - 1e-9 <= est.srtt <= max(samples) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=100))
+    def test_rto_at_least_srtt_plus_floor(self, samples):
+        est = RttEstimator()
+        for sample in samples:
+            est.add_sample(sample)
+        assert est.rto >= min(est.srtt + est.min_rto_var, est.max_rto) - 1e-9
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=2, max_size=100))
+    def test_sigma_nonnegative_and_bounded(self, samples):
+        est = RttEstimator()
+        for sample in samples:
+            est.add_sample(sample)
+        assert 0.0 <= est.sigma <= (max(samples) - min(samples)) + 1e-9
+
+
+@st.composite
+def dsn_stream(draw):
+    """A randomly ordered segmentation of a contiguous byte range, with
+    duplicates sprinkled in."""
+    n_segments = draw(st.integers(min_value=1, max_value=40))
+    sizes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=1448),
+            min_size=n_segments, max_size=n_segments,
+        )
+    )
+    segments = []
+    dsn = 0
+    for size in sizes:
+        segments.append((dsn, size))
+        dsn += size
+    order = draw(st.permutations(segments))
+    duplicates = draw(st.lists(st.sampled_from(segments), max_size=10))
+    return list(order) + duplicates, dsn
+
+
+class TestReceiverProperties:
+    @given(dsn_stream())
+    @settings(max_examples=200)
+    def test_any_arrival_order_reassembles_exactly(self, case):
+        arrivals, total = case
+        sim = Simulator()
+        rx = MptcpReceiver(sim, recv_buffer_bytes=10_000_000)
+        delivered = []
+        rx.on_deliver = delivered.append
+        for dsn, size in arrivals:
+            rx.on_data(Packet(size=size + 60, payload=size, dsn=dsn))
+        assert rx.expected_dsn == total
+        assert sum(delivered) == total
+        assert rx.buffered_bytes == 0
+        assert all(d >= 0.0 for d in rx.ooo_delays)
+
+    @given(dsn_stream())
+    @settings(max_examples=100)
+    def test_delivery_count_matches_unique_segments(self, case):
+        arrivals, total = case
+        sim = Simulator()
+        rx = MptcpReceiver(sim)
+        rx.on_data  # appease linters
+        unique = len({dsn for dsn, _ in arrivals})
+        for dsn, size in arrivals:
+            rx.on_data(Packet(size=size + 60, payload=size, dsn=dsn))
+        assert len(rx.ooo_delays) == unique
+        assert rx.duplicate_packets == len(arrivals) - unique
+
+
+class TestLinkProperties:
+    @given(
+        st.lists(st.integers(min_value=40, max_value=1508), min_size=1, max_size=60),
+        st.integers(min_value=1500, max_value=50_000),
+        st.floats(min_value=0.0, max_value=0.4),
+    )
+    @settings(max_examples=100)
+    def test_conservation_under_arbitrary_traffic(self, sizes, queue_bytes, loss):
+        sim = Simulator()
+        link = Link(
+            sim, 1e6, 0.005, queue_bytes,
+            loss_rate=loss, rng=random.Random(0),
+        )
+        delivered = []
+        for size in sizes:
+            link.send(Packet(size=size), lambda p: delivered.append(p.size))
+        sim.run()
+        stats = link.stats
+        assert stats.packets_in == len(sizes)
+        assert stats.packets_delivered + stats.packets_dropped == len(sizes)
+        assert len(delivered) == stats.packets_delivered
+
+    @given(st.lists(st.integers(min_value=40, max_value=1508), min_size=1, max_size=40))
+    @settings(max_examples=100)
+    def test_fifo_order_preserved(self, sizes):
+        sim = Simulator()
+        link = Link(sim, 1e6, 0.01, 10_000_000)
+        order = []
+        for index, size in enumerate(sizes):
+            link.send(Packet(size=size, seq=index), lambda p: order.append(p.seq))
+        sim.run()
+        assert order == sorted(order)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=100))
+    def test_events_execute_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)

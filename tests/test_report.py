@@ -1,0 +1,52 @@
+"""Tests for the report collation utility."""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.experiments.report import FIGURE_INDEX, collate_report, default_output_dir
+
+
+class TestCollate:
+    def test_includes_existing_outputs(self, tmp_path):
+        (tmp_path / "fig01_onoff.txt").write_text("time downloaded\n0 0\n")
+        report = collate_report(tmp_path)
+        assert "Figure 1" in report
+        assert "time downloaded" in report
+
+    def test_missing_outputs_listed(self, tmp_path):
+        report = collate_report(tmp_path)
+        assert "(not yet generated)" in report
+        assert "Missing outputs:" in report
+
+    def test_all_figures_have_sections(self, tmp_path):
+        report = collate_report(tmp_path)
+        for _, title in FIGURE_INDEX:
+            assert title in report
+
+    def test_index_covers_every_paper_item(self):
+        names = [name for name, _ in FIGURE_INDEX]
+        # Every evaluated table/figure of the paper appears exactly once.
+        for required in (
+            "fig02", "fig05", "fig06", "fig07", "tab02", "fig09", "fig10",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "tab03", "fig22",
+        ):
+            assert any(required in n for n in names), required
+        assert len(names) == len(set(names))
+
+    def test_default_output_dir_found_from_repo(self):
+        output = default_output_dir(Path(__file__).parent)
+        assert output.name == "output"
+        assert output.parent.name == "benchmarks"
+
+
+class TestCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        assert "ECF reproduction report" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "ECF reproduction report" in target.read_text()

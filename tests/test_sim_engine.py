@@ -1,0 +1,167 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_schedule_runs_callback_at_time(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_zero_delay_is_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(3.0, order.append, 3)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_run_in_schedule_order(self, sim):
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_callback_args_passed_through(self, sim):
+        got = []
+        sim.schedule(0.1, lambda a, b: got.append((a, b)), "x", 42)
+        sim.run()
+        assert got == [("x", 42)]
+
+    def test_events_scheduled_during_run_execute(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(1.0, fired.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["inner"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_until(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_includes_events_at_boundary(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, 1)
+        sim.run(until=2.0)
+        assert fired == [1]
+
+    def test_run_until_advances_clock_when_queue_drains(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_run_returns_executed_count(self, sim):
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(until=3.0) == 3
+
+    def test_max_events_limits_execution(self, sim):
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=4) == 4
+        assert sim.pending_events == 6
+
+    def test_step_executes_one_event(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_on_empty_queue_returns_false(self, sim):
+        assert sim.step() is False
+
+    def test_run_is_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_accumulates(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
+class TestTimers:
+    def test_cancelled_timer_does_not_fire(self, sim):
+        fired = []
+        timer = sim.schedule(1.0, fired.append, 1)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+
+    def test_cancel_after_firing_is_noop(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        timer.cancel()
+
+    def test_active_reflects_cancellation(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+
+    def test_peek_time_skips_cancelled(self, sim):
+        t1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        t1.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty_queue(self, sim):
+        assert sim.peek_time() is None
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        t1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        t1.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancelled_timer_drops_references(self, sim):
+        big = ["payload"] * 1000
+        timer = sim.schedule(1.0, lambda x: None, big)
+        timer.cancel()
+        assert timer.args == ()

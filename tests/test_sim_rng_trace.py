@@ -1,0 +1,114 @@
+"""Tests for the RNG registry and trace recorder."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("loss")
+        b = RngRegistry(7).stream("loss")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_are_independent(self):
+        rngs = RngRegistry(7)
+        a = [rngs.stream("a").random() for _ in range(5)]
+        b = [rngs.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        rngs = RngRegistry(0)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        rngs1 = RngRegistry(9)
+        s = rngs1.stream("loss")
+        first = s.random()
+        rngs2 = RngRegistry(9)
+        rngs2.stream("new-consumer")  # extra stream created first
+        assert rngs2.stream("loss").random() == first
+
+    def test_fork_produces_independent_registry(self):
+        parent = RngRegistry(5)
+        child = parent.fork("child")
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(5).fork("c").stream("x").random()
+        b = RngRegistry(5).fork("c").stream("x").random()
+        assert a == b
+
+
+class TestTraceRecorder:
+    def test_record_and_read_back(self):
+        trace = TraceRecorder()
+        trace.record("cwnd", 1.0, 10.0)
+        trace.record("cwnd", 2.0, 20.0)
+        assert trace.series("cwnd") == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_disabled_recorder_drops_samples(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record("cwnd", 1.0, 10.0)
+        assert trace.series("cwnd") == []
+
+    def test_unknown_series_is_empty(self):
+        assert TraceRecorder().series("nope") == []
+
+    def test_names_sorted(self):
+        trace = TraceRecorder()
+        trace.record("b", 0.0, 1.0)
+        trace.record("a", 0.0, 1.0)
+        assert trace.names() == ["a", "b"]
+
+    def test_last_returns_most_recent(self):
+        trace = TraceRecorder()
+        trace.record("x", 1.0, 5.0)
+        trace.record("x", 2.0, 6.0)
+        assert trace.last("x") == (2.0, 6.0)
+
+    def test_last_raises_for_missing_series(self):
+        with pytest.raises(KeyError):
+            TraceRecorder().last("x")
+
+    def test_values_and_times(self):
+        trace = TraceRecorder()
+        trace.record("x", 1.0, 5.0)
+        trace.record("x", 2.0, 6.0)
+        assert trace.values("x") == [5.0, 6.0]
+        assert trace.times("x") == [1.0, 2.0]
+
+    def test_window_filters_by_time(self):
+        trace = TraceRecorder()
+        for t in range(5):
+            trace.record("x", float(t), float(t))
+        assert trace.window("x", 1.0, 3.0) == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+    def test_merge_with_prefix(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        b.record("x", 1.0, 2.0)
+        a.merge(b, prefix="run1.")
+        assert a.series("run1.x") == [(1.0, 2.0)]
+
+    def test_extend_bypasses_enabled(self):
+        trace = TraceRecorder(enabled=False)
+        trace.extend("x", [(0.0, 1.0)])
+        assert trace.series("x") == [(0.0, 1.0)]
+
+    def test_contains(self):
+        trace = TraceRecorder()
+        trace.record("x", 0.0, 0.0)
+        assert "x" in trace
+        assert "y" not in trace
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record("x", 0.0, 0.0)
+        trace.clear()
+        assert trace.names() == []

@@ -1,0 +1,116 @@
+"""Edge-case tests of the subflow state machine: Karn's rule, recovery
+episode accounting, retransmission interplay, and idle-reset corners."""
+
+import pytest
+
+from repro.tcp.subflow import INITIAL_WINDOW
+from tests.conftest import build_connection, drain
+
+
+def lossy_single_path(sim, queue_bytes=6_000, **kw):
+    conn = build_connection(sim, path_specs=((10.0, 0.02),), **kw)
+    conn.subflows[0].path.forward.queue_bytes = queue_bytes
+    return conn, conn.subflows[0]
+
+
+class TestKarn:
+    def test_retransmitted_segments_not_rtt_sampled(self, sim):
+        conn, sf = lossy_single_path(sim)
+        conn.write(1_000_000)
+        drain(sim)
+        assert conn.delivered_bytes == 1_000_000
+        retransmitted = sf.stats.segments_retransmitted
+        assert retransmitted > 0
+        # Samples = segments sent minus every transmission of a segment
+        # that was ever retransmitted (original sample is discarded by the
+        # acked-copy ambiguity rule); at minimum, strictly fewer samples
+        # than total transmissions.
+        assert sf.rtt.samples < sf.stats.segments_sent
+
+    def test_backoff_cleared_by_fresh_sample(self, sim):
+        conn, sf = lossy_single_path(sim)
+        sf._rto_backoff = 8.0
+        conn.write(1448)
+        drain(sim)
+        assert sf._rto_backoff == 1.0
+
+
+class TestRecoveryEpisodes:
+    def test_burst_loss_is_one_episode(self, sim):
+        """Many drops from one window burst must halve cwnd once, not once
+        per drop."""
+        conn, sf = lossy_single_path(sim, queue_bytes=4_000)
+        conn.write(120_000)
+        drain(sim)
+        drops = sf.path.forward.stats.packets_dropped_queue
+        assert drops >= 2
+        assert sf.stats.fast_retransmits < drops
+
+    def test_acked_segment_leaves_retransmit_queue(self, sim):
+        """A segment marked lost but then acked (reordered ack) must not
+        be retransmitted."""
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(200_000)
+        drain(sim)
+        # Clean link: no retransmissions at all.
+        assert sf.stats.segments_retransmitted == 0
+
+    def test_flight_never_negative_under_loss(self, sim):
+        conn, sf = lossy_single_path(sim)
+        conn.write(800_000)
+        while sim.peek_time() is not None and sim.now < 120.0:
+            sim.run(until=sim.now + 0.05)
+            assert sf.flight >= 0
+        assert conn.delivered_bytes == 800_000
+
+
+class TestIdleResetCorners:
+    def test_reset_does_not_fire_below_initial_window(self, sim):
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        sf.cwnd = 5.0  # below IW after losses
+        sf._last_send_time = 0.0
+        sim.run(until=20.0)
+        conn.write(1448)
+        # cwnd was already below IW: no reset, no counter bump.
+        assert sf.stats.idle_resets == 0
+        assert sf.cwnd == 5.0
+
+    def test_reset_not_triggered_with_data_in_flight(self, sim):
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(3_000_000)
+        sim.run(until=0.5)  # mid-transfer
+        assert sf.flight > 0
+        before = sf.stats.idle_resets
+        conn.write(1448)
+        assert sf.stats.idle_resets == before
+
+    def test_consecutive_resets_counted(self, sim):
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        for _ in range(3):
+            conn.write(400_000)
+            drain(sim, limit=sim.now + 60.0)
+            sim.run(until=sim.now + 30.0)  # long idle gap
+        assert sf.stats.idle_resets >= 2
+
+
+class TestAccounting:
+    def test_payload_bytes_exclude_retransmissions(self, sim):
+        conn, sf = lossy_single_path(sim)
+        conn.write(500_000)
+        drain(sim)
+        assert sf.stats.payload_bytes_sent == 500_000
+        assert sf.stats.bytes_sent > 500_000  # headers + retransmissions
+
+    def test_outstanding_segments_vs_bytes_consistent(self, sim):
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(5_000_000)
+        sim.run(until=0.2)
+        assert sf.outstanding_segments > 0
+        assert sf.outstanding_bytes <= sf.outstanding_segments * sf.mss
+
+    def test_last_data_timestamps_progress(self, sim):
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(100_000)
+        drain(sim)
+        assert sf.stats.last_data_sent_at is not None
+        assert sf.stats.last_data_acked_at >= sf.stats.last_data_sent_at
