@@ -18,13 +18,29 @@ underlying ``repro.experiments`` APIs.
 from __future__ import annotations
 
 import functools
+import os
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.exec import ExperimentExecutor
 from repro.experiments.grid import streaming_grid
 from repro.experiments.runner import StreamingRunConfig, StreamingRunResult, run_streaming
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Workers for the sweep harnesses.  ``REPRO_BENCH_JOBS=8 pytest
+#: benchmarks/`` fans the heavy grids out over 8 processes;
+#: ``REPRO_BENCH_CACHE=dir`` additionally memoizes finished cells, so an
+#: interrupted benchmark session resumes instead of recomputing.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def bench_executor() -> Optional[ExperimentExecutor]:
+    """A fresh executor honoring the REPRO_BENCH_* environment knobs."""
+    if BENCH_JOBS <= 1 and BENCH_CACHE is None:
+        return None
+    return ExperimentExecutor(jobs=BENCH_JOBS, cache_dir=BENCH_CACHE)
 
 #: Grid used by the streaming heat-map benches (the paper's Section 3/5 set).
 GRID_MBPS: Tuple[float, ...] = (0.3, 0.7, 1.1, 1.7, 4.2, 8.6)
@@ -49,7 +65,7 @@ def write_output(name: str, text: str) -> None:
 def scheduler_grid(scheduler: str, video: float = BENCH_VIDEO_SECONDS) -> Dict[Cell, List[StreamingRunResult]]:
     """One full 6x6 streaming grid for a scheduler (cached per session)."""
     base = StreamingRunConfig(scheduler=scheduler, video_duration=video)
-    return streaming_grid(base, GRID_MBPS, GRID_MBPS)
+    return streaming_grid(base, GRID_MBPS, GRID_MBPS, executor=bench_executor())
 
 
 @functools.lru_cache(maxsize=None)

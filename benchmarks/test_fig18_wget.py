@@ -7,9 +7,8 @@ close, with DAPS occasionally worse and ECF shaving time off the largest
 transfers at high heterogeneity.
 """
 
-from bench_common import run_once, write_output
-from repro.apps.bulk import run_bulk_download
-from repro.net.profiles import lte_config, wifi_config
+from bench_common import bench_executor, run_once, write_output
+from repro.experiments.grid import wget_matrix
 
 SIZES = (128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024)
 LTE_MBPS = tuple(range(1, 11))
@@ -18,14 +17,18 @@ SCHEDULERS = ("minrtt", "daps", "blest", "ecf")
 
 def test_fig18_wget_completion_times(benchmark):
     def compute():
-        table = {}
-        for size in SIZES:
-            for lte in LTE_MBPS:
-                paths = (wifi_config(1.0), lte_config(float(lte)))
-                for name in SCHEDULERS:
-                    result = run_bulk_download(name, paths, size, seed=1)
-                    table[(size, lte, name)] = result.completion_time
-        return table
+        matrix = wget_matrix(
+            SCHEDULERS,
+            SIZES,
+            wifi_values_mbps=(1.0,),
+            lte_values_mbps=tuple(float(v) for v in LTE_MBPS),
+            seed=1,
+            executor=bench_executor(),
+        )
+        return {
+            (size, int(lte), name): result.completion_time
+            for (size, _, lte, name), result in matrix.items()
+        }
 
     table = run_once(benchmark, compute)
     lines = ["size_kB  lte_Mbps  default_s  daps_s  blest_s  ecf_s"]

@@ -6,9 +6,8 @@ Paper shape: ratio ~1 for small transfers (128 kB), at-or-below 1 for
 meaningfully above 1 ("if ECF ever did worse ... that does not happen").
 """
 
-from bench_common import run_once, write_output
-from repro.apps.bulk import run_bulk_download
-from repro.net.profiles import lte_config, wifi_config
+from bench_common import bench_executor, run_once, write_output
+from repro.experiments.grid import wget_matrix
 
 SIZES = (256 * 1024, 1024 * 1024)
 GRID = (1, 2, 4, 6, 8, 10)
@@ -16,17 +15,20 @@ GRID = (1, 2, 4, 6, 8, 10)
 
 def test_fig19_ecf_over_default_ratio(benchmark):
     def compute():
-        ratios = {}
-        for size in SIZES:
-            for wifi in GRID:
-                for lte in GRID:
-                    paths = (wifi_config(float(wifi)), lte_config(float(lte)))
-                    default = run_bulk_download("minrtt", paths, size, seed=2)
-                    ecf = run_bulk_download("ecf", paths, size, seed=2)
-                    ratios[(size, wifi, lte)] = (
-                        ecf.completion_time / default.completion_time
-                    )
-        return ratios
+        values = tuple(float(v) for v in GRID)
+        matrix = wget_matrix(
+            ("minrtt", "ecf"), SIZES, values, values, seed=2,
+            executor=bench_executor(),
+        )
+        return {
+            (size, int(wifi), int(lte)): (
+                matrix[(size, wifi, lte, "ecf")].completion_time
+                / matrix[(size, wifi, lte, "minrtt")].completion_time
+            )
+            for size in SIZES
+            for wifi in values
+            for lte in values
+        }
 
     ratios = run_once(benchmark, compute)
     lines = []

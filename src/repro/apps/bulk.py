@@ -8,8 +8,8 @@ rarely utilizes a secondary subflow for small transfers".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.apps.http import HttpSession
 from repro.core.registry import make_scheduler
@@ -18,6 +18,49 @@ from repro.net.path import Path
 from repro.net.profiles import PathConfig, make_path
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class BulkDownloadSpec:
+    """Frozen description of one wget-style download -- a plain value.
+
+    Path profiles are embedded as :class:`~repro.net.profiles.PathConfig`
+    (primary first) and the optional connection tunables as their plain
+    field values, so the spec serializes, pickles, and content-hashes for
+    the executor and its result cache.
+    """
+
+    kind: ClassVar[str] = "bulk_download"
+
+    scheduler: str
+    path_configs: Tuple[PathConfig, ...]
+    size: int
+    seed: int = 0
+    scheduler_params: Dict = field(default_factory=dict)
+    connection: Optional[ConnectionConfig] = None
+    timeout: float = 300.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path_configs", tuple(self.path_configs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "path_configs": [asdict(pc) for pc in self.path_configs],
+            "size": self.size,
+            "seed": self.seed,
+            "scheduler_params": dict(self.scheduler_params),
+            "connection": None if self.connection is None else asdict(self.connection),
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BulkDownloadSpec":
+        data = dict(data)
+        data["path_configs"] = tuple(PathConfig(**pc) for pc in data["path_configs"])
+        if data.get("connection") is not None:
+            data["connection"] = ConnectionConfig(**data["connection"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -37,6 +80,79 @@ class BulkDownloadResult:
             return 0.0
         return self.size * 8.0 / self.completion_time
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": 2,
+            "kind": "bulk_download",
+            "scheduler": self.scheduler,
+            "size": self.size,
+            "completion_time": self.completion_time,
+            "payload_by_path": dict(self.payload_by_path),
+            "ooo_delays_max": self.ooo_delays_max,
+            "reinjections": self.reinjections,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BulkDownloadResult":
+        return cls(
+            scheduler=data["scheduler"],
+            size=data["size"],
+            completion_time=data["completion_time"],
+            payload_by_path=dict(data["payload_by_path"]),
+            ooo_delays_max=data["ooo_delays_max"],
+            reinjections=data["reinjections"],
+        )
+
+
+def run_bulk(spec: BulkDownloadSpec) -> BulkDownloadResult:
+    """Download one object over a fresh MPTCP connection, per ``spec``.
+
+    Raises
+    ------
+    RuntimeError
+        If the download does not finish within ``spec.timeout`` simulated
+        seconds (indicative of a dead path or a scheduler deadlock).
+    """
+    sim = Simulator()
+    rngs = RngRegistry(spec.seed)
+    paths = [
+        make_path(sim, pc, rngs.stream(f"loss.{i}.{pc.name}"))
+        for i, pc in enumerate(spec.path_configs)
+    ]
+    scheduler = make_scheduler(spec.scheduler, **spec.scheduler_params)
+    conn = MptcpConnection(
+        sim, paths, scheduler, config=spec.connection, name=f"wget-{spec.scheduler}"
+    )
+    session = HttpSession(sim, conn)
+
+    done = {}
+
+    def _on_complete(result) -> None:
+        done["result"] = result
+
+    session.get(spec.size, _on_complete)
+    sim.run(until=spec.timeout)
+    if "result" not in done:
+        raise RuntimeError(
+            f"download of {spec.size} bytes with {spec.scheduler!r} did not "
+            f"complete within {spec.timeout} s (delivered "
+            f"{conn.delivered_bytes} bytes)"
+        )
+    result = done["result"]
+    payload_by_path: Dict[str, int] = {}
+    for sf in conn.subflows:
+        payload_by_path[sf.path.name] = (
+            payload_by_path.get(sf.path.name, 0) + sf.stats.payload_bytes_sent
+        )
+    return BulkDownloadResult(
+        scheduler=spec.scheduler,
+        size=spec.size,
+        completion_time=result.completion_time,
+        payload_by_path=payload_by_path,
+        ooo_delays_max=max(conn.receiver.ooo_delays, default=0.0),
+        reinjections=conn.reinjections,
+    )
+
 
 def run_bulk_download(
     scheduler_name: str,
@@ -47,54 +163,35 @@ def run_bulk_download(
     timeout: float = 300.0,
     **scheduler_params,
 ) -> BulkDownloadResult:
-    """Download one object of ``size`` bytes over a fresh MPTCP connection.
+    """Positional-argument wrapper around :func:`run_bulk`.
 
-    Parameters
-    ----------
-    scheduler_name: which path scheduler to use ("minrtt", "ecf", ...).
-    path_configs: profiles of the paths, primary first.
-    size: object size, bytes.
-    seed: seeds the loss processes.
-    config: optional connection tunables.
-    timeout: give up (and raise) if the download has not completed.
-
-    Raises
-    ------
-    RuntimeError
-        If the download does not finish within ``timeout`` simulated
-        seconds (indicative of a dead path or a scheduler deadlock).
+    .. deprecated:: 1.1
+        Build a :class:`BulkDownloadSpec` and call :func:`run_bulk` (or
+        submit the spec to :class:`repro.experiments.exec.ExperimentExecutor`).
+        Kept so existing examples and benchmarks run unchanged.
     """
-    sim = Simulator()
-    rngs = RngRegistry(seed)
-    paths = [make_path(sim, pc, rngs.stream(f"loss.{i}.{pc.name}")) for i, pc in enumerate(path_configs)]
-    scheduler = make_scheduler(scheduler_name, **scheduler_params)
-    conn = MptcpConnection(sim, paths, scheduler, config=config, name=f"wget-{scheduler_name}")
-    session = HttpSession(sim, conn)
-
-    done = {}
-
-    def _on_complete(result) -> None:
-        done["result"] = result
-
-    session.get(size, _on_complete)
-    sim.run(until=timeout)
-    if "result" not in done:
-        raise RuntimeError(
-            f"download of {size} bytes with {scheduler_name!r} did not "
-            f"complete within {timeout} s (delivered "
-            f"{conn.delivered_bytes} bytes)"
+    return run_bulk(
+        BulkDownloadSpec(
+            scheduler=scheduler_name,
+            path_configs=tuple(path_configs),
+            size=size,
+            seed=seed,
+            scheduler_params=dict(scheduler_params),
+            connection=config,
+            timeout=timeout,
         )
-    result = done["result"]
-    payload_by_path: Dict[str, int] = {}
-    for sf in conn.subflows:
-        payload_by_path[sf.path.name] = (
-            payload_by_path.get(sf.path.name, 0) + sf.stats.payload_bytes_sent
-        )
-    return BulkDownloadResult(
-        scheduler=scheduler_name,
-        size=size,
-        completion_time=result.completion_time,
-        payload_by_path=payload_by_path,
-        ooo_delays_max=max(conn.receiver.ooo_delays, default=0.0),
-        reinjections=conn.reinjections,
     )
+
+
+def _register() -> None:
+    from repro.experiments.spec import register_experiment
+
+    register_experiment(
+        "bulk_download",
+        BulkDownloadSpec.from_dict,
+        run_bulk,
+        BulkDownloadResult.from_dict,
+    )
+
+
+_register()

@@ -7,8 +7,13 @@ Examples
     python -m repro.cli download --scheduler ecf --size 512k --wifi 1 --lte 10
     python -m repro.cli streaming --scheduler minrtt ecf --wifi 0.3 --lte 8.6
     python -m repro.cli web --scheduler ecf --wifi 1 --lte 10
-    python -m repro.cli grid --scheduler ecf --video 30
-    python -m repro.cli wild --runs 5
+    python -m repro.cli grid --scheduler ecf --video 30 --jobs 8
+    python -m repro.cli wild --runs 5 --jobs 4 --cache-dir .repro-cache
+
+Sweep commands (``grid``, ``streaming``, ``wild``) accept ``--jobs N`` to
+fan independent runs out over N worker processes, ``--cache-dir DIR`` to
+memoize finished runs on disk (a re-run executes only missing cells), and
+``--no-cache`` to ignore a configured cache.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import List, Optional
 from repro.apps.bulk import run_bulk_download
 from repro.apps.dash.media import VideoManifest
 from repro.core.registry import SCHEDULER_NAMES
+from repro.experiments.exec import ExperimentExecutor
 from repro.experiments.grid import (
     PAPER_BANDWIDTH_GRID_MBPS,
     bitrate_ratio_matrix,
@@ -27,7 +33,7 @@ from repro.experiments.grid import (
     streaming_grid,
 )
 from repro.experiments.ideal import ideal_average_bitrate
-from repro.experiments.runner import StreamingRunConfig, run_streaming
+from repro.experiments.runner import StreamingRunConfig
 from repro.experiments.wild import run_wild_streaming
 from repro.metrics.stats import percentile
 from repro.net.profiles import lte_config, wifi_config
@@ -62,6 +68,38 @@ def _add_common(parser: argparse.ArgumentParser, multi_sched: bool = True) -> No
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for independent runs (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache; re-runs execute only missing cells",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (run everything fresh, store nothing)",
+    )
+
+
+def _executor_from_args(args) -> ExperimentExecutor:
+    """Build the sweep executor the common flags describe."""
+    return ExperimentExecutor(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=sys.stderr.isatty(),
+    )
+
+
 def cmd_download(args) -> int:
     paths = (wifi_config(args.wifi), lte_config(args.lte))
     print(f"{'scheduler':<10}{'time (s)':>10}{'throughput':>13}")
@@ -78,11 +116,15 @@ def cmd_streaming(args) -> int:
     ideal = ideal_average_bitrate([args.wifi * 1e6, args.lte * 1e6], VideoManifest())
     print(f"ideal bit rate: {ideal / 1e6:.2f} Mbps")
     print(f"{'scheduler':<10}{'bitrate':>10}{'ratio':>8}{'IW resets':>11}")
-    for name in args.scheduler:
-        result = run_streaming(StreamingRunConfig(
+    specs = [
+        StreamingRunConfig(
             scheduler=name, wifi_mbps=args.wifi, lte_mbps=args.lte,
             video_duration=args.video, seed=args.seed,
-        ))
+        )
+        for name in args.scheduler
+    ]
+    results = _executor_from_args(args).run(specs)
+    for name, result in zip(args.scheduler, results):
         bitrate = result.metrics.steady_average_bitrate_bps
         print(
             f"{name:<10}{bitrate / 1e6:>9.2f}M{bitrate / ideal:>8.2f}"
@@ -108,7 +150,7 @@ def cmd_grid(args) -> int:
     base = StreamingRunConfig(
         scheduler=args.scheduler, video_duration=args.video, seed=args.seed
     )
-    grid = streaming_grid(base)
+    grid = streaming_grid(base, executor=_executor_from_args(args))
     ratios = bitrate_ratio_matrix(grid)
     print(f"measured/ideal bit rate, scheduler={args.scheduler}")
     print(format_matrix(ratios, PAPER_BANDWIDTH_GRID_MBPS, PAPER_BANDWIDTH_GRID_MBPS))
@@ -130,7 +172,10 @@ def cmd_report(args) -> int:
 
 
 def cmd_wild(args) -> int:
-    runs = run_wild_streaming(runs=args.runs, video_duration=args.video)
+    runs = run_wild_streaming(
+        runs=args.runs, video_duration=args.video,
+        executor=_executor_from_args(args),
+    )
     print(f"{'run':<5}{'wifi rtt':>10}{'default':>10}{'ecf':>8}")
     for run in runs:
         print(
@@ -155,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("streaming", help="DASH streaming session")
     _add_common(p)
     p.add_argument("--video", type=float, default=120.0, help="video seconds")
+    _add_executor_flags(p)
     p.set_defaults(func=cmd_streaming)
 
     p = sub.add_parser("web", help="full-page Web browsing")
@@ -165,11 +211,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="ecf", choices=SCHEDULER_NAMES)
     p.add_argument("--video", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser("wild", help="in-the-wild emulation")
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--video", type=float, default=60.0)
+    _add_executor_flags(p)
     p.set_defaults(func=cmd_wild)
 
     p = sub.add_parser(

@@ -1,0 +1,406 @@
+"""Parallel experiment execution with result caching.
+
+Every paper figure is a sweep of independent simulations -- grid cells x
+schedulers x seeds -- that the original harnesses executed strictly
+serially.  :class:`ExperimentExecutor` fans those runs out across a
+process pool and memoizes finished runs on disk:
+
+* **Fan-out**: any batch of :mod:`repro.experiments.spec` specs runs on
+  ``jobs`` worker processes.  Specs and results cross the pool boundary
+  in their dict wire format, so workers never pickle live simulator
+  objects.  Results come back in submission order, and a batch is
+  bit-for-bit identical whatever ``jobs`` is: each run is a pure
+  function of its spec (the spec carries the seed).
+* **Caching**: with a ``cache_dir``, every finished run is stored as
+  canonical JSON under its :func:`~repro.experiments.spec.spec_hash`
+  (content address).  Re-running a half-finished campaign executes only
+  the missing cells; a warm cache executes nothing.
+* **Timeout + retry**: a per-run wall-clock ``timeout_s`` (enforced via
+  ``SIGALRM`` on POSIX) converts a wedged simulation into a
+  :class:`RunTimeoutError`, and the executor retries it up to
+  ``retries`` times before failing the batch -- one stuck run cannot
+  stall a campaign forever.
+* **Progress**: pass ``progress=True`` for a stderr ticker with ETA, or
+  a callable receiving :class:`ProgressEvent` for custom reporting.
+
+Example
+-------
+::
+
+    from repro.experiments.exec import ExperimentExecutor
+    from repro.experiments.runner import StreamingSpec
+
+    specs = [StreamingSpec(scheduler="ecf", wifi_mbps=w, lte_mbps=8.6,
+                           video_duration=60.0, seed=s)
+             for w in (0.3, 1.1, 4.2) for s in range(3)]
+    with ExperimentExecutor(jobs=4, cache_dir=".repro-cache") as ex:
+        results = ex.run(specs)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.spec import (
+    SCHEMA_VERSION,
+    canonical_json,
+    result_from_dict,
+    run_spec,
+    spec_from_dict,
+    spec_hash,
+    spec_to_dict,
+)
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class RunTimeoutError(RuntimeError):
+    """A run exceeded its wall-clock budget."""
+
+
+class ExperimentError(RuntimeError):
+    """A run failed permanently (after exhausting any retries)."""
+
+
+@dataclass
+class ExecutorStats:
+    """What a batch actually cost."""
+
+    executed: int = 0
+    cached: int = 0
+    retried: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress tick, emitted after every completed run."""
+
+    done: int
+    total: int
+    executed: int
+    cached: int
+    elapsed_s: float
+    eta_s: Optional[float]
+
+
+class ProgressReporter:
+    """Default progress sink: a single self-overwriting stderr line."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ProgressEvent) -> None:
+        eta = "?" if event.eta_s is None else f"{event.eta_s:.0f}s"
+        pct = 100.0 * event.done / event.total if event.total else 100.0
+        self.stream.write(
+            f"\r[{event.done}/{event.total}] {pct:3.0f}% "
+            f"executed={event.executed} cached={event.cached} "
+            f"elapsed={event.elapsed_s:.1f}s eta={eta}"
+        )
+        if event.done == event.total:
+            self.stream.write("\n")
+        self.stream.flush()
+
+
+@contextmanager
+def _wall_clock_limit(timeout_s: Optional[float], label: str):
+    """Raise :class:`RunTimeoutError` if the body runs past ``timeout_s``.
+
+    Uses the real-time interval timer, so it fires even while the
+    simulation loop never touches the event queue.  Silently a no-op
+    where ``SIGALRM`` is unavailable (non-POSIX) or off the main thread.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise RunTimeoutError(f"run exceeded {timeout_s}s wall clock: {label}")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_payload(payload: Dict[str, Any], timeout_s: Optional[float]) -> Dict[str, Any]:
+    """Pool-worker entry point: spec dict in, result dict out.
+
+    Module-level (picklable) and dict-in/dict-out so nothing but plain
+    values crosses the process boundary.
+    """
+    spec = spec_from_dict(payload)
+    label = f"{payload['kind']} {spec_hash(spec)[:12]}"
+    with _wall_clock_limit(timeout_s, label):
+        result = run_spec(spec)
+    return result.to_dict()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of finished runs.
+
+    Entries live at ``<root>/<hash[:2]>/<hash>.json`` holding the spec
+    alongside the result (the file is self-describing and greppable).
+    Writes are atomic (temp file + ``os.replace``), so a killed campaign
+    never leaves a truncated entry behind; unreadable or version-skewed
+    entries read as misses.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            text = self.path_for(key).read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(payload, dict) or payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        target = self.path_for(key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.parent / f".{key}.{os.getpid()}.tmp"
+        tmp.write_text(canonical_json(payload))
+        os.replace(tmp, target)
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class ExperimentExecutor:
+    """Run batches of experiment specs in parallel, with caching.
+
+    Parameters
+    ----------
+    jobs: worker processes; ``1`` executes inline in this process (the
+        reference serial path -- results are identical either way).
+    cache_dir: directory for the content-addressed result cache;
+        ``None`` disables caching.
+    use_cache: set ``False`` to bypass a configured cache (fresh runs,
+        nothing read or written).
+    timeout_s: per-run wall-clock budget; ``None`` means unbounded.
+    retries: extra attempts for a run that times out (or whose worker
+        died) before the batch fails.
+    progress: ``True`` for the built-in stderr ticker, a callable for
+        custom handling of :class:`ProgressEvent`, falsy for silence.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[PathLike] = None,
+        use_cache: bool = True,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
+        self.jobs = int(jobs)
+        self.cache = (
+            ResultCache(cache_dir) if (cache_dir is not None and use_cache) else None
+        )
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        if progress is True:
+            self._progress: Optional[Callable[[ProgressEvent], None]] = ProgressReporter()
+        elif callable(progress):
+            self._progress = progress
+        else:
+            self._progress = None
+        self.stats = ExecutorStats()
+
+    # -- context manager sugar (no persistent resources today) ----------
+    def __enter__(self) -> "ExperimentExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    # -- the batch API ---------------------------------------------------
+    def run(self, specs: Sequence[Any]) -> List[Any]:
+        """Execute every spec; return typed results in submission order.
+
+        Cache hits are rebuilt from disk without simulating; misses run
+        inline (``jobs=1``) or on the pool.  All results -- cached, inline,
+        or pooled -- pass through the same ``to_dict``/``from_dict`` wire
+        format, so the three paths are indistinguishable to the caller.
+        """
+        specs = list(specs)
+        total = len(specs)
+        results: List[Any] = [None] * total
+        started = time.monotonic()
+        done = 0
+
+        def report() -> None:
+            if self._progress is None:
+                return
+            elapsed = time.monotonic() - started
+            remaining = total - done
+            eta: Optional[float] = None
+            if remaining == 0:
+                eta = 0.0
+            elif self.stats.executed > 0:
+                eta = elapsed / max(done, 1) * remaining
+            self._progress(
+                ProgressEvent(
+                    done=done,
+                    total=total,
+                    executed=self.stats.executed,
+                    cached=self.stats.cached,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                )
+            )
+
+        hashes = [spec_hash(spec) for spec in specs]
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            entry = self.cache.get(hashes[index]) if self.cache else None
+            if entry is not None and entry.get("kind") == spec.kind:
+                results[index] = result_from_dict(spec.kind, entry["result"])
+                self.stats.cached += 1
+                done += 1
+                report()
+            else:
+                pending.append(index)
+
+        def finalize(index: int, result_dict: Dict[str, Any]) -> None:
+            nonlocal done
+            spec = specs[index]
+            results[index] = result_from_dict(spec.kind, result_dict)
+            if self.cache is not None:
+                self.cache.put(
+                    hashes[index],
+                    {
+                        "schema_version": SCHEMA_VERSION,
+                        "kind": spec.kind,
+                        "spec": spec.to_dict(),
+                        "result": result_dict,
+                    },
+                )
+            self.stats.executed += 1
+            done += 1
+            report()
+
+        if not pending:
+            return results
+        payloads = {index: spec_to_dict(specs[index]) for index in pending}
+        if self.jobs == 1 or len(pending) == 1:
+            for index in pending:
+                finalize(index, self._run_with_retry_inline(payloads[index]))
+        else:
+            self._run_on_pool(pending, payloads, finalize)
+        return results
+
+    def submit_one(self, spec: Any) -> Any:
+        """Convenience: run a single spec through cache + retry logic."""
+        return self.run([spec])[0]
+
+    # -- execution paths -------------------------------------------------
+    def _run_with_retry_inline(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        for attempt in range(self.retries + 1):
+            try:
+                return _execute_payload(payload, self.timeout_s)
+            except RunTimeoutError as exc:
+                if attempt == self.retries:
+                    raise ExperimentError(
+                        f"{payload['kind']} run failed after "
+                        f"{self.retries + 1} attempts: {exc}"
+                    ) from exc
+                self.stats.retried += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _run_on_pool(
+        self,
+        pending: List[int],
+        payloads: Dict[int, Dict[str, Any]],
+        finalize: Callable[[int, Dict[str, Any]], None],
+    ) -> None:
+        attempts = {index: 0 for index in pending}
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_payload, payloads[index], self.timeout_s): index
+                for index in pending
+            }
+            while futures:
+                completed, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in completed:
+                    index = futures.pop(future)
+                    try:
+                        result_dict = future.result()
+                    except RunTimeoutError as exc:
+                        attempts[index] += 1
+                        if attempts[index] > self.retries:
+                            for other in futures:
+                                other.cancel()
+                            raise ExperimentError(
+                                f"{payloads[index]['kind']} run failed after "
+                                f"{attempts[index]} attempts: {exc}"
+                            ) from exc
+                        self.stats.retried += 1
+                        futures[
+                            pool.submit(
+                                _execute_payload, payloads[index], self.timeout_s
+                            )
+                        ] = index
+                    else:
+                        finalize(index, result_dict)
+
+
+def run_specs(
+    specs: Sequence[Any],
+    jobs: int = 1,
+    cache_dir: Optional[PathLike] = None,
+    use_cache: bool = True,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
+) -> List[Any]:
+    """One-shot convenience wrapper around :class:`ExperimentExecutor`."""
+    with ExperimentExecutor(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        timeout_s=timeout_s,
+        retries=retries,
+        progress=progress,
+    ) as executor:
+        return executor.run(specs)

@@ -15,8 +15,8 @@ different :class:`StreamingRunConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.apps.dash.abr import make_abr
 from repro.apps.dash.media import VideoManifest
@@ -25,6 +25,7 @@ from repro.apps.http import HttpSession
 from repro.core.registry import make_scheduler
 from repro.metrics.collectors import PeriodicSampler
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
+from repro.net.bandwidth import BandwidthSpec, make_bandwidth_process
 from repro.net.path import Path
 from repro.net.profiles import PathConfig, lte_config, make_path, wifi_config
 from repro.sim.engine import Simulator
@@ -32,15 +33,41 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 
 
-@dataclass
+def _coerce_process(process: Optional[object]) -> Optional[object]:
+    """Normalize a bandwidth process argument toward a serializable spec.
+
+    :class:`~repro.net.bandwidth.BandwidthSpec` and ``None`` pass through;
+    live process objects that know their spec (``to_spec``) are converted,
+    which keeps the config picklable.  Duck-typed processes without a spec
+    are kept live -- they still run serially, but the config refuses to
+    serialize (the executor and cache need plain values).
+    """
+    if process is None or isinstance(process, BandwidthSpec):
+        return process
+    to_spec = getattr(process, "to_spec", None)
+    if callable(to_spec):
+        return to_spec()
+    return process
+
+
+@dataclass(frozen=True)
 class StreamingRunConfig:
-    """Everything one streaming session depends on.
+    """Everything one streaming session depends on -- as a plain value.
 
     ``wifi_mbps``/``lte_mbps`` set fixed regulated bandwidths; a
-    ``wifi_process``/``lte_process`` (anything with ``attach(sim, path)``)
-    overrides them over time; ``path_configs`` replaces the testbed
-    profiles entirely (used by the in-the-wild runs).
+    ``wifi_process``/``lte_process`` (a
+    :class:`~repro.net.bandwidth.BandwidthSpec`, or a live process with
+    ``to_spec()`` which is converted on construction) overrides them over
+    time; ``path_configs`` replaces the testbed profiles entirely (used
+    by the in-the-wild runs).
+
+    The config is frozen and holds no simulator state, so it can cross a
+    process-pool boundary and serve as a cache key
+    (:func:`repro.experiments.spec.spec_hash`).  Use
+    :func:`dataclasses.replace` to derive variants.
     """
+
+    kind: ClassVar[str] = "streaming"
 
     scheduler: str = "minrtt"
     scheduler_params: Dict = field(default_factory=dict)
@@ -57,17 +84,80 @@ class StreamingRunConfig:
     subflows_per_interface: int = 1
     wifi_process: Optional[object] = None
     lte_process: Optional[object] = None
-    path_configs: Optional[Sequence[PathConfig]] = None
+    path_configs: Optional[Tuple[PathConfig, ...]] = None
     record_traces: bool = False
     record_delays: bool = True
     sample_period: float = 0.1
     time_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "wifi_process", _coerce_process(self.wifi_process))
+        object.__setattr__(self, "lte_process", _coerce_process(self.lte_process))
+        if self.path_configs is not None:
+            object.__setattr__(self, "path_configs", tuple(self.path_configs))
 
     def effective_time_limit(self) -> float:
         """Simulation cap: generous but finite."""
         if self.time_limit is not None:
             return self.time_limit
         return 3.0 * self.video_duration + 120.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the spec side of the wire format)."""
+
+        def process_dict(process: Optional[object]) -> Optional[Dict[str, Any]]:
+            if process is None:
+                return None
+            if not isinstance(process, BandwidthSpec):
+                raise TypeError(
+                    f"{type(process).__name__} bandwidth process is not "
+                    f"serializable; use a BandwidthSpec (or a process with "
+                    f"to_spec()) to run through the executor or cache"
+                )
+            return process.to_dict()
+
+        return {
+            "scheduler": self.scheduler,
+            "scheduler_params": dict(self.scheduler_params),
+            "wifi_mbps": self.wifi_mbps,
+            "lte_mbps": self.lte_mbps,
+            "video_duration": self.video_duration,
+            "chunk_duration": self.chunk_duration,
+            "seed": self.seed,
+            "congestion_control": self.congestion_control,
+            "idle_reset_enabled": self.idle_reset_enabled,
+            "penalization_enabled": self.penalization_enabled,
+            "abr": self.abr,
+            "max_buffer": self.max_buffer,
+            "subflows_per_interface": self.subflows_per_interface,
+            "wifi_process": process_dict(self.wifi_process),
+            "lte_process": process_dict(self.lte_process),
+            "path_configs": (
+                None
+                if self.path_configs is None
+                else [asdict(pc) for pc in self.path_configs]
+            ),
+            "record_traces": self.record_traces,
+            "record_delays": self.record_delays,
+            "sample_period": self.sample_period,
+            "time_limit": self.time_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamingRunConfig":
+        data = dict(data)
+        for key in ("wifi_process", "lte_process"):
+            if data.get(key) is not None:
+                data[key] = BandwidthSpec.from_dict(data[key])
+        if data.get("path_configs") is not None:
+            data["path_configs"] = tuple(
+                PathConfig(**pc) for pc in data["path_configs"]
+            )
+        return cls(**data)
+
+
+#: Protocol-style alias: the frozen spec the ``streaming`` kind runs.
+StreamingSpec = StreamingRunConfig
 
 
 @dataclass
@@ -105,6 +195,19 @@ class StreamingRunResult:
             return 0.0
         return self.payload_by_interface.get(self.fast_interface, 0) / total
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless, JSON-serializable form (cache/worker wire format)."""
+        from repro.metrics.export import streaming_result_to_dict
+
+        return streaming_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StreamingRunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro.metrics.export import streaming_result_from_dict
+
+        return streaming_result_from_dict(data)
+
 
 def _build_paths(sim: Simulator, config: StreamingRunConfig, rngs: RngRegistry) -> List[Path]:
     if config.path_configs is not None:
@@ -136,14 +239,16 @@ def run_streaming(config: StreamingRunConfig) -> StreamingRunResult:
     rngs = RngRegistry(config.seed)
     paths = _build_paths(sim, config, rngs)
 
-    if config.wifi_process is not None:
+    for interface, process in (("wifi", config.wifi_process), ("lte", config.lte_process)):
+        if process is None:
+            continue
+        # Specs are realized into a fresh live process per run; legacy
+        # duck-typed processes attach directly.
+        if isinstance(process, BandwidthSpec):
+            process = make_bandwidth_process(process)
         for path in paths:
-            if path.name == "wifi":
-                config.wifi_process.attach(sim, path)
-    if config.lte_process is not None:
-        for path in paths:
-            if path.name == "lte":
-                config.lte_process.attach(sim, path)
+            if path.name == interface:
+                process.attach(sim, path)
 
     conn_config = ConnectionConfig(
         congestion_control=config.congestion_control,
@@ -223,3 +328,17 @@ def run_streaming(config: StreamingRunConfig) -> StreamingRunResult:
         reinjections=conn.reinjections,
         trace=trace,
     )
+
+
+def _register() -> None:
+    from repro.experiments.spec import register_experiment
+
+    register_experiment(
+        "streaming",
+        StreamingRunConfig.from_dict,
+        run_streaming,
+        StreamingRunResult.from_dict,
+    )
+
+
+_register()

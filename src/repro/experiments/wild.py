@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.runner import StreamingRunConfig, StreamingRunResult, run_streaming
+from repro.experiments.exec import ExperimentExecutor
+from repro.experiments.runner import StreamingRunConfig, StreamingRunResult
 from repro.net.profiles import PathConfig, wild_lte_config, wild_wifi_config
-from repro.workloads.web import WebBrowsingResult, run_web_browsing
+from repro.workloads.web import WebBrowsingResult, WebBrowsingSpec
 
 
 def wild_path_pair(run_index: int, base_seed: int = 6) -> Tuple[PathConfig, PathConfig]:
@@ -45,54 +46,185 @@ class WildStreamingRun:
         return self.results[scheduler].average_chunk_throughput_bps / 1e6
 
 
+@dataclass(frozen=True)
+class WildStreamingSpec:
+    """Frozen description of the Fig 22 campaign -- a plain value.
+
+    The campaign is fully determined by these fields: path profiles are
+    drawn from ``base_seed`` per run index, and each (run, scheduler)
+    cell becomes one :class:`StreamingRunConfig` submitted through the
+    executor.
+    """
+
+    kind: ClassVar[str] = "wild_streaming"
+
+    schedulers: Tuple[str, ...] = ("minrtt", "ecf")
+    runs: int = 9
+    video_duration: float = 120.0
+    base_seed: int = 6
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schedulers", tuple(self.schedulers))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schedulers": list(self.schedulers),
+            "runs": self.runs,
+            "video_duration": self.video_duration,
+            "base_seed": self.base_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WildStreamingSpec":
+        data = dict(data)
+        data["schedulers"] = tuple(data["schedulers"])
+        return cls(**data)
+
+
+@dataclass
+class WildStreamingResult:
+    """Fig 22 outcome: the sorted run list, serializable as one value."""
+
+    spec: WildStreamingSpec
+    runs: List[WildStreamingRun]
+
+    def to_dict(self) -> Dict[str, Any]:
+        from dataclasses import asdict
+
+        return {
+            "schema_version": 2,
+            "kind": "wild_streaming",
+            "spec": self.spec.to_dict(),
+            "runs": [
+                {
+                    "run_index": run.run_index,
+                    "wifi_config": asdict(run.wifi_config),
+                    "lte_config": asdict(run.lte_config),
+                    "results": {
+                        name: result.to_dict()
+                        for name, result in run.results.items()
+                    },
+                }
+                for run in self.runs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WildStreamingResult":
+        return cls(
+            spec=WildStreamingSpec.from_dict(data["spec"]),
+            runs=[
+                WildStreamingRun(
+                    run_index=run["run_index"],
+                    wifi_config=PathConfig(**run["wifi_config"]),
+                    lte_config=PathConfig(**run["lte_config"]),
+                    results={
+                        name: StreamingRunResult.from_dict(result)
+                        for name, result in run["results"].items()
+                    },
+                )
+                for run in data["runs"]
+            ],
+        )
+
+
+def run_wild(
+    spec: WildStreamingSpec,
+    executor: Optional[ExperimentExecutor] = None,
+) -> WildStreamingResult:
+    """Fig 22: per-run RTT and streaming throughput, Default vs ECF.
+
+    Runs are sorted by the drawn WiFi RTT, as the paper sorts its x-axis.
+    Every (run, scheduler) cell is an independent streaming spec with a
+    deterministic seed (``base_seed + sorted run index``, shared across
+    schedulers so each scheduler sees identical conditions), submitted
+    through ``executor`` -- or run serially when none is given.
+    """
+    drawn = sorted(
+        (wild_path_pair(i, spec.base_seed) for i in range(spec.runs)),
+        key=lambda pair: pair[0].one_way_delay,
+    )
+    cells: List[Tuple[int, str]] = []
+    configs: List[StreamingRunConfig] = []
+    for index, (wifi, lte) in enumerate(drawn, start=1):
+        for scheduler in spec.schedulers:
+            cells.append((index, scheduler))
+            configs.append(
+                StreamingRunConfig(
+                    scheduler=scheduler,
+                    video_duration=spec.video_duration,
+                    path_configs=(wifi, lte),
+                    seed=spec.base_seed + index,
+                )
+            )
+    if executor is None:
+        executor = ExperimentExecutor()
+    run_results = executor.run(configs)
+
+    by_index: Dict[int, Dict[str, StreamingRunResult]] = {}
+    for (index, scheduler), result in zip(cells, run_results):
+        by_index.setdefault(index, {})[scheduler] = result
+    runs = [
+        WildStreamingRun(
+            run_index=index,
+            wifi_config=wifi,
+            lte_config=lte,
+            results=by_index[index],
+        )
+        for index, (wifi, lte) in enumerate(drawn, start=1)
+    ]
+    return WildStreamingResult(spec=spec, runs=runs)
+
+
 def run_wild_streaming(
     schedulers: Sequence[str] = ("minrtt", "ecf"),
     runs: int = 9,
     video_duration: float = 120.0,
     base_seed: int = 6,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[WildStreamingRun]:
-    """Fig 22: per-run RTT and streaming throughput, Default vs ECF.
+    """Positional-argument wrapper around :func:`run_wild`.
 
-    Runs are sorted by the drawn WiFi RTT, as the paper sorts its x-axis.
+    .. deprecated:: 1.1
+        Build a :class:`WildStreamingSpec` and call :func:`run_wild`.
+        Kept so existing examples and benchmarks run unchanged.
     """
-    drawn = sorted(
-        (wild_path_pair(i, base_seed) for i in range(runs)),
-        key=lambda pair: pair[0].one_way_delay,
+    spec = WildStreamingSpec(
+        schedulers=tuple(schedulers),
+        runs=runs,
+        video_duration=video_duration,
+        base_seed=base_seed,
     )
-    out: List[WildStreamingRun] = []
-    for index, (wifi, lte) in enumerate(drawn, start=1):
-        results: Dict[str, StreamingRunResult] = {}
-        for scheduler in schedulers:
-            config = StreamingRunConfig(
-                scheduler=scheduler,
-                video_duration=video_duration,
-                path_configs=(wifi, lte),
-                seed=base_seed + index,
-            )
-            results[scheduler] = run_streaming(config)
-        out.append(
-            WildStreamingRun(
-                run_index=index, wifi_config=wifi, lte_config=lte, results=results
-            )
-        )
-    return out
+    return run_wild(spec, executor=executor).runs
 
 
 def run_wild_web(
     schedulers: Sequence[str] = ("minrtt", "ecf"),
     runs: int = 30,
     base_seed: int = 23,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> Dict[str, List[WebBrowsingResult]]:
-    """Fig 23 / Table 4: wild CNN-page loads, Default vs ECF."""
-    out: Dict[str, List[WebBrowsingResult]] = {name: [] for name in schedulers}
+    """Fig 23 / Table 4: wild CNN-page loads, Default vs ECF.
+
+    Each (run, scheduler) page load is one :class:`WebBrowsingSpec`
+    submitted through ``executor`` (serial when omitted).
+    """
+    cells: List[Tuple[str, int]] = []
+    specs: List[WebBrowsingSpec] = []
     for run_index in range(runs):
         wifi, lte = wild_path_pair(run_index, base_seed)
         for scheduler in schedulers:
-            out[scheduler].append(
-                run_web_browsing(
-                    scheduler,
-                    (wifi, lte),
+            cells.append((scheduler, run_index))
+            specs.append(
+                WebBrowsingSpec(
+                    scheduler=scheduler,
+                    path_configs=(wifi, lte),
                     seed=base_seed + run_index,
                 )
             )
+    if executor is None:
+        executor = ExperimentExecutor()
+    out: Dict[str, List[WebBrowsingResult]] = {name: [] for name in schedulers}
+    for (scheduler, _), result in zip(cells, executor.run(specs)):
+        out[scheduler].append(result)
     return out

@@ -13,6 +13,8 @@ from repro.metrics.stats import (
 )
 from repro.metrics.collectors import PeriodicSampler, ThroughputMeter
 from repro.metrics.export import (
+    streaming_result_from_dict,
+    streaming_result_to_dict,
     write_cdf_csv,
     write_matrix_csv,
     write_series_csv,
@@ -24,6 +26,8 @@ __all__ = [
     "write_cdf_csv",
     "write_matrix_csv",
     "write_streaming_results_json",
+    "streaming_result_to_dict",
+    "streaming_result_from_dict",
     "Summary",
     "cdf",
     "ccdf",

@@ -54,10 +54,29 @@ def write_matrix_csv(
             writer.writerow([col, row, value])
 
 
+#: Wire-format version written by :func:`streaming_result_to_dict`.
+#: v1 (unversioned) was a flat lossy summary; v2 embeds the spec and every
+#: field needed to rebuild the :class:`StreamingRunResult` exactly, and is
+#: the executor's cache/worker format.
+STREAMING_RESULT_SCHEMA_VERSION = 2
+
+
 def streaming_result_to_dict(result: "StreamingRunResult") -> Dict:
-    """Flatten a streaming run into a JSON-serializable summary."""
+    """Serialize a streaming run losslessly (JSON-compatible).
+
+    The flat summary keys of the original (v1) format are kept for
+    plotting scripts; on top of them the dict carries ``schema_version``,
+    the run's spec (``spec`` -- the config as plain data, replacing the
+    embedded live config object), the raw per-packet samples, and the
+    recorded trace series (as data, not a live
+    :class:`~repro.sim.trace.TraceRecorder`).
+    :func:`streaming_result_from_dict` inverts it exactly.
+    """
     metrics = result.metrics
     return {
+        "schema_version": STREAMING_RESULT_SCHEMA_VERSION,
+        "kind": "streaming",
+        "spec": result.config.to_dict(),
         "scheduler": result.config.scheduler,
         "wifi_mbps": result.config.wifi_mbps,
         "lte_mbps": result.config.lte_mbps,
@@ -88,7 +107,75 @@ def streaming_result_to_dict(result: "StreamingRunResult") -> Dict:
             }
             for c in metrics.chunks
         ],
+        "payload_by_interface": dict(result.payload_by_interface),
+        "ooo_delays": list(result.ooo_delays),
+        "last_packet_gaps": list(result.last_packet_gaps),
+        "startup_completed_at": metrics.startup_completed_at,
+        "finished_at": metrics.finished_at,
+        "trace": (
+            None
+            if result.trace is None
+            else {name: [list(s) for s in result.trace.series(name)]
+                  for name in result.trace.names()}
+        ),
     }
+
+
+def streaming_result_from_dict(data: Dict) -> "StreamingRunResult":
+    """Rebuild a :class:`StreamingRunResult` from its serialized form.
+
+    Only understands ``schema_version`` 2 (v1 summaries are lossy and
+    cannot be rebuilt).
+    """
+    from repro.apps.dash.media import Representation
+    from repro.apps.dash.player import ChunkRecord, StreamingMetrics
+    from repro.experiments.runner import StreamingRunConfig, StreamingRunResult
+    from repro.sim.trace import TraceRecorder
+
+    version = data.get("schema_version")
+    if version != STREAMING_RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"cannot rebuild a streaming result from schema_version "
+            f"{version!r} (expected {STREAMING_RESULT_SCHEMA_VERSION})"
+        )
+    config = StreamingRunConfig.from_dict(data["spec"])
+    metrics = StreamingMetrics(
+        chunks=[
+            ChunkRecord(
+                index=c["index"],
+                representation=Representation(
+                    c["representation"], c["bitrate_bps"]
+                ),
+                requested_at=c["requested_at"],
+                completed_at=c["completed_at"],
+                size=c["size"],
+            )
+            for c in data["chunks"]
+        ],
+        rebuffer_time=data["rebuffer_time_s"],
+        rebuffer_events=data["rebuffer_events"],
+        startup_completed_at=data["startup_completed_at"],
+        finished_at=data["finished_at"],
+    )
+    trace = None
+    if data["trace"] is not None:
+        trace = TraceRecorder()
+        for name, samples in data["trace"].items():
+            trace.extend(name, [(t, v) for t, v in samples])
+    return StreamingRunResult(
+        config=config,
+        metrics=metrics,
+        finished=data["finished"],
+        fast_interface=data["fast_interface"],
+        payload_by_interface=dict(data["payload_by_interface"]),
+        iw_resets_by_interface=dict(data["iw_resets"]),
+        idle_resets_by_interface=dict(data["idle_resets"]),
+        mean_rtt_by_interface=dict(data["mean_rtt_s"]),
+        ooo_delays=list(data["ooo_delays"]),
+        last_packet_gaps=list(data["last_packet_gaps"]),
+        reinjections=data["reinjections"],
+        trace=trace,
+    )
 
 
 def write_streaming_results_json(

@@ -20,9 +20,13 @@ from repro.net.packet import Packet
 from repro.net.link import Link, LinkStats
 from repro.net.path import Path
 from repro.net.bandwidth import (
+    BandwidthSpec,
     ConstantBandwidth,
     PiecewiseBandwidth,
     RandomBandwidthProcess,
+    as_bandwidth_spec,
+    make_bandwidth_process,
+    register_bandwidth_process,
 )
 from repro.net.profiles import (
     PathConfig,
@@ -44,9 +48,13 @@ __all__ = [
     "Link",
     "LinkStats",
     "Path",
+    "BandwidthSpec",
     "ConstantBandwidth",
     "PiecewiseBandwidth",
     "RandomBandwidthProcess",
+    "as_bandwidth_spec",
+    "make_bandwidth_process",
+    "register_bandwidth_process",
     "PathConfig",
     "make_path",
     "wifi_config",

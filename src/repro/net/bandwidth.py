@@ -11,13 +11,62 @@ schedule (useful for tests and for regenerating a specific scenario).
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net.path import Path
 from repro.sim.engine import Simulator
 
 #: Rate set used by the paper's random-change scenarios (Mbps).
 PAPER_RATE_SET_MBPS = (0.3, 1.1, 1.7, 4.2, 8.6)
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize parameter values so equal specs compare (and hash) equal.
+
+    Lists become tuples (recursively); everything else passes through.
+    This keeps a spec reconstructed from JSON equal to the original.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class BandwidthSpec:
+    """A named, serializable description of a bandwidth process.
+
+    Experiment configs carry these instead of live process objects so a
+    run spec stays picklable (for process-pool workers) and content-
+    hashable (for the result cache).  ``make_bandwidth_process`` turns a
+    spec back into the live object; each process class's ``to_spec``
+    goes the other way.
+
+    ``params`` is stored canonically as a sorted tuple of ``(key, value)``
+    pairs with nested sequences tupled, so two specs describing the same
+    process are equal regardless of construction order or a JSON round
+    trip.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "BandwidthSpec":
+        """Build a spec from keyword parameters."""
+        items = tuple(sorted((k, _canonical(v)) for k, v in params.items()))
+        return cls(kind=kind, params=items)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (tuples degrade to lists in JSON)."""
+        return {"kind": self.kind, "params": self.param_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BandwidthSpec":
+        return cls.of(data["kind"], **dict(data.get("params", {})))
 
 
 class ConstantBandwidth:
@@ -39,6 +88,9 @@ class ConstantBandwidth:
     def schedule_of_changes(self) -> List[Tuple[float, float]]:
         """The (time, rate) change list -- a single initial setting."""
         return [(0.0, self.rate_bps)]
+
+    def to_spec(self) -> BandwidthSpec:
+        return BandwidthSpec.of("constant", rate_bps=self.rate_bps)
 
 
 class PiecewiseBandwidth:
@@ -79,6 +131,9 @@ class PiecewiseBandwidth:
             else:
                 break
         return current
+
+    def to_spec(self) -> BandwidthSpec:
+        return BandwidthSpec.of("piecewise", schedule=tuple(self.schedule))
 
 
 class RandomBandwidthProcess:
@@ -134,5 +189,71 @@ class RandomBandwidthProcess:
         realized.attach(sim, path)
         return realized
 
+    def to_spec(self) -> BandwidthSpec:
+        return BandwidthSpec.of(
+            "random",
+            seed=self.seed,
+            duration=self.duration,
+            mean_interval=self.mean_interval,
+            rate_set_mbps=self.rate_set_mbps,
+            initial_rate_mbps=self.initial_rate_mbps,
+        )
+
 
 BandwidthProcess = Callable  # documentation alias; all processes share .attach()
+
+
+_BANDWIDTH_FACTORIES: Dict[str, Callable[..., Any]] = {
+    "constant": ConstantBandwidth,
+    "piecewise": PiecewiseBandwidth,
+    "random": RandomBandwidthProcess,
+}
+
+#: Canonical bandwidth-process kind names.
+BANDWIDTH_PROCESS_KINDS = tuple(sorted(_BANDWIDTH_FACTORIES))
+
+
+def register_bandwidth_process(kind: str, factory: Callable[..., Any]) -> None:
+    """Register a custom process kind for spec-based construction.
+
+    ``factory`` is called with the spec's params as keyword arguments and
+    must return an object with ``attach(sim, path)``.
+    """
+    _BANDWIDTH_FACTORIES[kind] = factory
+
+
+def make_bandwidth_process(spec: BandwidthSpec):
+    """Instantiate the live process a :class:`BandwidthSpec` describes.
+
+    Like :func:`repro.core.registry.make_scheduler`, always returns a
+    fresh instance.
+    """
+    try:
+        factory = _BANDWIDTH_FACTORIES[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown bandwidth process kind {spec.kind!r}; "
+            f"choose from {sorted(_BANDWIDTH_FACTORIES)}"
+        ) from None
+    return factory(**spec.param_dict())
+
+
+def as_bandwidth_spec(process: Any) -> BandwidthSpec:
+    """Coerce a live process (or a spec) into a :class:`BandwidthSpec`.
+
+    Raises
+    ------
+    TypeError
+        For objects that expose neither ``to_spec`` nor the spec fields;
+        such processes cannot cross a process-pool boundary or be cached.
+    """
+    if isinstance(process, BandwidthSpec):
+        return process
+    to_spec = getattr(process, "to_spec", None)
+    if callable(to_spec):
+        return to_spec()
+    raise TypeError(
+        f"{type(process).__name__} is not serializable as a bandwidth "
+        f"process; give it a to_spec() -> BandwidthSpec method (and "
+        f"register_bandwidth_process its kind) to use it in experiment specs"
+    )

@@ -13,8 +13,8 @@ measure per-object download completion times and out-of-order delays.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.apps.http import GetResult, HttpSession
 from repro.core.registry import make_scheduler
@@ -65,6 +65,63 @@ def cnn_like_page(seed: int = 2014, object_count: int = CNN_OBJECT_COUNT) -> Web
     return WebPage(tuple(sizes))
 
 
+@dataclass(frozen=True)
+class WebBrowsingSpec:
+    """Frozen description of one full-page load -- a plain value.
+
+    ``object_sizes`` pins an explicit page; left ``None``, the page is
+    derived deterministically from ``seed`` via :func:`cnn_like_page`, so
+    the spec stays small while remaining a complete content address of
+    the run (executor cache, pool workers).
+    """
+
+    kind: ClassVar[str] = "web_browsing"
+
+    scheduler: str
+    path_configs: Tuple[PathConfig, ...]
+    seed: int = 0
+    connections: int = BROWSER_CONNECTIONS
+    object_sizes: Optional[Tuple[int, ...]] = None
+    scheduler_params: Dict = field(default_factory=dict)
+    connection: Optional[ConnectionConfig] = None
+    timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path_configs", tuple(self.path_configs))
+        if self.object_sizes is not None:
+            object.__setattr__(self, "object_sizes", tuple(self.object_sizes))
+
+    def page(self) -> WebPage:
+        """The page this spec loads."""
+        if self.object_sizes is not None:
+            return WebPage(self.object_sizes)
+        return cnn_like_page(seed=2014 + self.seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheduler": self.scheduler,
+            "path_configs": [asdict(pc) for pc in self.path_configs],
+            "seed": self.seed,
+            "connections": self.connections,
+            "object_sizes": (
+                None if self.object_sizes is None else list(self.object_sizes)
+            ),
+            "scheduler_params": dict(self.scheduler_params),
+            "connection": None if self.connection is None else asdict(self.connection),
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WebBrowsingSpec":
+        data = dict(data)
+        data["path_configs"] = tuple(PathConfig(**pc) for pc in data["path_configs"])
+        if data.get("object_sizes") is not None:
+            data["object_sizes"] = tuple(data["object_sizes"])
+        if data.get("connection") is not None:
+            data["connection"] = ConnectionConfig(**data["connection"])
+        return cls(**data)
+
+
 @dataclass
 class WebBrowsingResult:
     """Outcome of one full-page load."""
@@ -87,6 +144,33 @@ class WebBrowsingResult:
         if not self.object_completion_times:
             return 0.0
         return sum(self.object_completion_times) / len(self.object_completion_times)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": 2,
+            "kind": "web_browsing",
+            "scheduler": self.scheduler,
+            "object_completion_times": list(self.object_completion_times),
+            "ooo_delays": list(self.ooo_delays),
+            "page_load_time": self.page_load_time,
+            "objects_completed": self.objects_completed,
+            "total_objects": self.total_objects,
+            "iw_resets": self.iw_resets,
+            "reinjections": self.reinjections,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WebBrowsingResult":
+        return cls(
+            scheduler=data["scheduler"],
+            object_completion_times=list(data["object_completion_times"]),
+            ooo_delays=list(data["ooo_delays"]),
+            page_load_time=data["page_load_time"],
+            objects_completed=data["objects_completed"],
+            total_objects=data["total_objects"],
+            iw_resets=data["iw_resets"],
+            reinjections=data["reinjections"],
+        )
 
 
 class _BrowserQueue:
@@ -122,6 +206,47 @@ class _BrowserQueue:
             self.result.page_load_time = self.sim.now
 
 
+def run_web(spec: WebBrowsingSpec) -> WebBrowsingResult:
+    """Load a page over ``spec.connections`` persistent MPTCP connections.
+
+    Each connection gets its own scheduler instance (schedulers hold
+    per-connection state), mirroring the paper's 6-connection browser
+    (12 subflows with two interfaces).
+    """
+    page = spec.page()
+    sim = Simulator()
+    rngs = RngRegistry(spec.seed)
+    result = WebBrowsingResult(scheduler=spec.scheduler, total_objects=len(page))
+
+    # One shared set of links: all six connections contend for the same
+    # regulated interfaces, exactly as in the testbed.
+    paths = [
+        make_path(sim, pc, rngs.stream(f"loss.p{path_index}"))
+        for path_index, pc in enumerate(spec.path_configs)
+    ]
+    conns: List[MptcpConnection] = []
+    sessions: List[HttpSession] = []
+    for conn_index in range(spec.connections):
+        scheduler = make_scheduler(spec.scheduler, **spec.scheduler_params)
+        conn = MptcpConnection(
+            sim, paths, scheduler, config=spec.connection, name=f"web-{conn_index}"
+        )
+        conns.append(conn)
+        sessions.append(HttpSession(sim, conn))
+
+    queue = _BrowserQueue(sim, page, sessions, result)
+    queue.start()
+    sim.run(until=spec.timeout)
+
+    for conn in conns:
+        result.ooo_delays.extend(conn.receiver.ooo_delays)
+        result.iw_resets += sum(sf.stats.iw_resets for sf in conn.subflows)
+        result.reinjections += conn.reinjections
+    if result.page_load_time == 0.0 and result.objects_completed:
+        result.page_load_time = sim.now
+    return result
+
+
 def run_web_browsing(
     scheduler_name: str,
     path_configs: Sequence[PathConfig],
@@ -132,42 +257,36 @@ def run_web_browsing(
     timeout: float = 600.0,
     **scheduler_params,
 ) -> WebBrowsingResult:
-    """Load a page over ``connections`` persistent MPTCP connections.
+    """Positional-argument wrapper around :func:`run_web`.
 
-    Each connection gets its own scheduler instance (schedulers hold
-    per-connection state), mirroring the paper's 6-connection browser
-    (12 subflows with two interfaces).
+    .. deprecated:: 1.1
+        Build a :class:`WebBrowsingSpec` and call :func:`run_web` (or
+        submit the spec to :class:`repro.experiments.exec.ExperimentExecutor`).
+        Kept so existing examples and benchmarks run unchanged.
     """
-    if page is None:
-        page = cnn_like_page(seed=2014 + seed)
-    sim = Simulator()
-    rngs = RngRegistry(seed)
-    result = WebBrowsingResult(scheduler=scheduler_name, total_objects=len(page))
-
-    # One shared set of links: all six connections contend for the same
-    # regulated interfaces, exactly as in the testbed.
-    paths = [
-        make_path(sim, pc, rngs.stream(f"loss.p{path_index}"))
-        for path_index, pc in enumerate(path_configs)
-    ]
-    conns: List[MptcpConnection] = []
-    sessions: List[HttpSession] = []
-    for conn_index in range(connections):
-        scheduler = make_scheduler(scheduler_name, **scheduler_params)
-        conn = MptcpConnection(
-            sim, paths, scheduler, config=config, name=f"web-{conn_index}"
+    return run_web(
+        WebBrowsingSpec(
+            scheduler=scheduler_name,
+            path_configs=tuple(path_configs),
+            seed=seed,
+            connections=connections,
+            object_sizes=None if page is None else tuple(page.object_sizes),
+            scheduler_params=dict(scheduler_params),
+            connection=config,
+            timeout=timeout,
         )
-        conns.append(conn)
-        sessions.append(HttpSession(sim, conn))
+    )
 
-    queue = _BrowserQueue(sim, page, sessions, result)
-    queue.start()
-    sim.run(until=timeout)
 
-    for conn in conns:
-        result.ooo_delays.extend(conn.receiver.ooo_delays)
-        result.iw_resets += sum(sf.stats.iw_resets for sf in conn.subflows)
-        result.reinjections += conn.reinjections
-    if result.page_load_time == 0.0 and result.objects_completed:
-        result.page_load_time = sim.now
-    return result
+def _register() -> None:
+    from repro.experiments.spec import register_experiment
+
+    register_experiment(
+        "web_browsing",
+        WebBrowsingSpec.from_dict,
+        run_web,
+        WebBrowsingResult.from_dict,
+    )
+
+
+_register()
