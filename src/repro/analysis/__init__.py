@@ -1,0 +1,46 @@
+"""Static analysis and runtime sanitization for the reproduction.
+
+Two halves guard the simulator's invariants:
+
+* :mod:`repro.analysis.lint` -- an AST linter with simulator-specific
+  rules (wall-clock reads, ad-hoc randomness, mutable defaults, float
+  equality on timestamps, unfrozen specs, unresolvable registry kinds);
+* :mod:`repro.analysis.sanitize` -- runtime assertion hooks in the
+  protocol layers, enabled with ``REPRO_SANITIZE=1`` / ``--sanitize``
+  and compiled down to a single ``is None`` test when off.
+
+The lint half is re-exported lazily: every protocol module imports
+``repro.analysis.sanitize`` (which runs this ``__init__``), so importing
+the linter eagerly here would drag the scheduler and experiment
+registries into every hot-path import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.sanitize import SanitizerError, disable, enable, enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only re-exports
+    from repro.analysis.lint import RULES, Violation, lint_paths, lint_source
+
+__all__ = [
+    "SanitizerError",
+    "enable",
+    "disable",
+    "enabled",
+    "RULES",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+]
+
+_LINT_EXPORTS = ("RULES", "Violation", "lint_paths", "lint_source")
+
+
+def __getattr__(name: str):
+    if name in _LINT_EXPORTS:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,508 @@
+"""Simulator-specific static analysis (``python -m repro.cli lint``).
+
+Generic linters cannot know that *this* codebase must never read the wall
+clock, that every random draw must flow through an injected
+``random.Random`` / :class:`~repro.sim.rng.RngRegistry` stream, or that a
+scheduler name baked into a default is a typo waiting for runtime.  The
+rules here encode exactly those contracts:
+
+=======  ==========================================================
+code     invariant
+=======  ==========================================================
+RPR101   no wall-clock reads (``time.time``, ``datetime.now``, ...)
+RPR102   no module-level ``random.*`` draws
+RPR103   no ad-hoc ``random.Random(...)`` construction
+RPR201   no mutable default arguments
+RPR301   no float ``==`` / ``!=`` on simulated timestamps
+RPR401   experiment spec dataclasses must be ``frozen=True``
+RPR402   spec fields must be plain values, not live simulator objects
+RPR501   registry kind strings must resolve against their registry
+=======  ==========================================================
+
+Each violation carries a fix-it hint.  A rule can be suppressed on one
+line with ``# repro: noqa[RPR101]`` (or all rules with
+``# repro: noqa``); suppressions are deliberate, so say *why* in a
+neighbouring comment.
+
+Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
+CLI form which exits non-zero when any violation survives::
+
+    python -m repro.cli lint            # lints the installed repro package
+    python -m repro.cli lint src tests  # explicit files or directories
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule catalog: code -> (summary, fix-it hint).
+RULES: Dict[str, Tuple[str, str]] = {
+    "RPR101": (
+        "wall-clock read in simulation code",
+        "use the simulator clock (sim.now); real time breaks determinism",
+    ),
+    "RPR102": (
+        "module-level random.* call",
+        "draw from an injected random.Random / RngRegistry stream instead",
+    ),
+    "RPR103": (
+        "ad-hoc random.Random construction",
+        "derive the stream from RngRegistry so seeds stay refactoring-proof",
+    ),
+    "RPR201": (
+        "mutable default argument",
+        "default to None (or a field(default_factory=...)) and build inside",
+    ),
+    "RPR301": (
+        "float equality on a simulated timestamp",
+        "compare with a tolerance or an ordering operator; exact float "
+        "equality on times is luck, not logic",
+    ),
+    "RPR401": (
+        "experiment spec dataclass is not frozen",
+        "declare @dataclass(frozen=True); specs are immutable cache keys",
+    ),
+    "RPR402": (
+        "spec field holds a live simulator object",
+        "store a plain-value description (a *Spec / *Config dataclass) and "
+        "rebuild the live object at run time",
+    ),
+    "RPR501": (
+        "unknown registry kind string",
+        "use a name the registry resolves; typos here only fail at run time",
+    ),
+}
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Terminal identifiers treated as simulated timestamps for RPR301.
+_TIME_NAMES = frozenset(
+    {
+        "now",
+        "time",
+        "sent_time",
+        "arrival_time",
+        "arrived_at",
+        "established_at",
+        "completed_at",
+        "deadline",
+        "start_time",
+        "end_time",
+        "page_load_time",
+        "completion_time",
+    }
+)
+
+#: Type names that must never appear in a spec field annotation.
+_LIVE_OBJECT_TYPES = frozenset(
+    {
+        "Simulator",
+        "Timer",
+        "Link",
+        "Path",
+        "Subflow",
+        "MptcpConnection",
+        "MptcpReceiver",
+        "CongestionController",
+        "Scheduler",
+        "HttpSession",
+        "DashPlayer",
+        "Random",
+    }
+)
+
+#: Files allowed to construct ``random.Random`` directly: the registry
+#: itself, which exists to own that construction.
+_RNG_CONSTRUCTION_ALLOWLIST = ("repro/sim/rng.py",)
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixit: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message} ({self.fixit})"
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The last identifier of a Name or Attribute expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _registries() -> Dict[str, Set[str]]:
+    """Kind-name sets for RPR501, loaded from the live registries.
+
+    Loading from the registries (not a hardcoded copy) means a newly
+    registered scheduler is immediately lintable without touching the
+    linter.
+    """
+    from repro.core.registry import _FACTORIES as scheduler_factories
+    from repro.net.bandwidth import _BANDWIDTH_FACTORIES as bandwidth_factories
+    from repro.tcp.cc import CONTROLLER_NAMES
+    from repro.experiments import spec as experiment_spec
+
+    experiment_spec._ensure_builtin_kinds()
+    return {
+        "scheduler": set(scheduler_factories),
+        "congestion_control": set(CONTROLLER_NAMES),
+        "bandwidth": set(bandwidth_factories),
+        "experiment": set(experiment_spec._KINDS),
+    }
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, registries: Dict[str, Set[str]]) -> None:
+        self.path = path
+        self.registries = registries
+        self.violations: List[Violation] = []
+        posix = Path(path).as_posix()
+        self.allow_rng_construction = posix.endswith(_RNG_CONSTRUCTION_ALLOWLIST)
+
+    # -- helpers -------------------------------------------------------
+    def add(self, node: ast.AST, code: str, detail: str = "") -> None:
+        summary, fixit = RULES[code]
+        message = f"{summary}: {detail}" if detail else summary
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+                fixit=fixit,
+            )
+        )
+
+    # -- RPR101 / RPR102 / RPR103 / RPR501 (calls) ---------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            self.add(node, "RPR101", f"{dotted}()")
+        elif dotted is not None and dotted.startswith("random."):
+            head = dotted.split(".", 2)[1]
+            if head in ("Random", "SystemRandom"):
+                if not self.allow_rng_construction:
+                    self.add(node, "RPR103", f"{dotted}(...)")
+            else:
+                self.add(node, "RPR102", f"{dotted}()")
+        self._check_registry_call(node)
+        self.generic_visit(node)
+
+    def _check_registry_call(self, node: ast.Call) -> None:
+        terminal = _terminal_name(node.func)
+        registry_key = {
+            "make_scheduler": "scheduler",
+            "make_controller": "congestion_control",
+            "experiment_kind": "experiment",
+        }.get(terminal or "")
+        if terminal == "of":
+            # BandwidthSpec.of("kind", ...) -- only when the receiver is
+            # literally named BandwidthSpec; other .of() calls pass.
+            receiver = (
+                node.func.value if isinstance(node.func, ast.Attribute) else None
+            )
+            if receiver is not None and _terminal_name(receiver) == "BandwidthSpec":
+                registry_key = "bandwidth"
+        if registry_key is None or not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            self._check_kind(node, registry_key, first.value)
+
+    def _check_kind(self, node: ast.AST, registry_key: str, value: str) -> None:
+        known = self.registries.get(registry_key, set())
+        if known and value.lower() not in known:
+            self.add(
+                node,
+                "RPR501",
+                f"{value!r} is not a registered {registry_key} kind "
+                f"(known: {', '.join(sorted(known))})",
+            )
+
+    # -- RPR201 (mutable defaults) -------------------------------------
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+                self.add(default, "RPR201", "literal container default")
+            elif isinstance(default, ast.Call):
+                callee = _dotted_name(default.func)
+                if callee in ("list", "dict", "set", "collections.deque", "deque"):
+                    self.add(default, "RPR201", f"{callee}() default")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- RPR301 (float equality on timestamps) -------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if self._is_timestamp(left) or self._is_timestamp(right):
+                if self._is_non_numeric_literal(left) or self._is_non_numeric_literal(right):
+                    continue
+                self.add(node, "RPR301", self._describe_compare(left, right))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_timestamp(node: ast.expr) -> bool:
+        return _terminal_name(node) in _TIME_NAMES
+
+    @staticmethod
+    def _is_non_numeric_literal(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and not isinstance(
+            node.value, (int, float)
+        )
+
+    @staticmethod
+    def _describe_compare(left: ast.expr, right: ast.expr) -> str:
+        def name(node: ast.expr) -> str:
+            return _dotted_name(node) or _terminal_name(node) or "<expr>"
+
+        return f"{name(left)} == {name(right)}"
+
+    # -- RPR401 / RPR402 / RPR501 (spec dataclasses) -------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        decorator = self._dataclass_decorator(node)
+        if decorator is not None and self._is_spec_class(node):
+            if not self._dataclass_is_frozen(decorator):
+                self.add(node, "RPR401", f"class {node.name}")
+            self._check_spec_fields(node)
+        if decorator is not None:
+            self._check_registry_defaults(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef):
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if _terminal_name(target) == "dataclass":
+                return dec
+        return None
+
+    @staticmethod
+    def _is_spec_class(node: ast.ClassDef) -> bool:
+        """Spec-like: named *Spec, or declaring a ClassVar ``kind``."""
+        if node.name.endswith("Spec"):
+            return True
+        for statement in node.body:
+            if (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.target.id == "kind"
+                and "ClassVar" in ast.dump(statement.annotation)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _dataclass_is_frozen(decorator) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+        return False
+
+    def _check_spec_fields(self, node: ast.ClassDef) -> None:
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign):
+                continue
+            for terminal in _annotation_names(statement.annotation):
+                if terminal in _LIVE_OBJECT_TYPES:
+                    target = statement.target
+                    field = target.id if isinstance(target, ast.Name) else "<field>"
+                    self.add(
+                        statement,
+                        "RPR402",
+                        f"{node.name}.{field} annotated {terminal}",
+                    )
+                    break
+
+    def _check_registry_defaults(self, node: ast.ClassDef) -> None:
+        """Kind-string defaults on dataclass fields must resolve too."""
+        for statement in node.body:
+            if not (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.value is not None
+            ):
+                continue
+            field = statement.target.id
+            if field in ("scheduler", "congestion_control"):
+                value = statement.value
+                if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                    self._check_kind(statement, _field_registry(field), value.value)
+            elif field == "schedulers" and isinstance(statement.value, ast.Tuple):
+                for element in statement.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        self._check_kind(statement, "scheduler", element.value)
+
+
+def _annotation_names(annotation: ast.expr) -> Set[str]:
+    """Every type identifier in an annotation, string forms included."""
+    names: Set[str] = set()
+    for sub in ast.walk(annotation):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            terminal = _terminal_name(sub)
+            if terminal is not None:
+                names.add(terminal)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # Forward references: 'Simulator', Optional["Link"], ...
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            names.update(_annotation_names(parsed.body))
+    return names
+
+
+def _field_registry(field: str) -> str:
+    return "scheduler" if field == "scheduler" else "congestion_control"
+
+
+def _suppressed_codes(line: str) -> Optional[Set[str]]:
+    """Codes a ``# repro: noqa`` comment suppresses; None = no comment,
+    empty set = blanket suppression."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip() for code in codes.split(",") if code.strip()}
+
+
+def _apply_noqa(violations: List[Violation], source: str) -> List[Violation]:
+    lines = source.splitlines()
+    kept: List[Violation] = []
+    for violation in violations:
+        line = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        suppressed = _suppressed_codes(line)
+        if suppressed is not None and (not suppressed or violation.code in suppressed):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    registries: Optional[Dict[str, Set[str]]] = None,
+) -> List[Violation]:
+    """Lint one module's source text.
+
+    ``select`` restricts to the given rule codes; ``registries``
+    overrides the kind-name sets (tests use this to avoid importing the
+    whole library).
+    """
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, _registries() if registries is None else registries)
+    linter.visit(tree)
+    violations = _apply_noqa(linter.violations, source)
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        violations = [v for v in violations if v.code in wanted]
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.code))
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence, select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Lint files and/or directory trees; returns all violations."""
+    registries = _registries()
+    violations: List[Violation] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        source = file_path.read_text()
+        violations.extend(
+            lint_source(source, str(file_path), select=select, registries=registries)
+        )
+    return violations
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory (the CLI default)."""
+    import repro
+
+    return Path(repro.__file__).parent

@@ -1,0 +1,249 @@
+"""Runtime sanitizer: protocol invariants checked while the simulator runs.
+
+The simulator's credibility rests on invariants nothing in normal
+operation enforces: congestion windows never collapse below one segment,
+data sequence numbers only move forward, link queues conserve bytes, the
+event loop dispatches in non-decreasing time order.  An aggressive
+refactor can silently break any of them and every downstream figure with
+it.  This module is the guardrail: protocol layers call cheap hook
+points (``if CHECKS is not None: CHECKS.xxx(...)``) that are ``None`` --
+and therefore skipped in one pointer test -- unless sanitizing is on.
+
+Enable with ``REPRO_SANITIZE=1`` in the environment (read at import
+time, so ``REPRO_SANITIZE=1 pytest`` sanitizes the whole suite), the
+CLI's ``--sanitize`` flag, or programmatically::
+
+    from repro.analysis import sanitize
+    sanitize.enable()      # or disable(); both are idempotent
+
+A failed check raises :class:`SanitizerError` (an ``AssertionError``
+subclass, so ``pytest.raises(AssertionError)`` also catches it) naming
+the object and the violated invariant.
+
+This module must stay dependency-free within the package: every protocol
+layer imports it, so it cannot import any of them back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mptcp.connection import MptcpConnection
+    from repro.mptcp.receiver import MptcpReceiver
+    from repro.net.link import Link
+    from repro.tcp.subflow import Subflow
+
+#: Tolerance for float window arithmetic (cwnd is a float in segments).
+_EPS = 1e-9
+
+#: Environment variable that turns the sanitizer on at import time.
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerError(AssertionError):
+    """A protocol invariant was violated at runtime."""
+
+
+def _fail(subject: Any, invariant: str, detail: str) -> None:
+    raise SanitizerError(f"{subject!r}: {invariant}: {detail}")
+
+
+class Checks:
+    """The invariant checks, one method per hook point.
+
+    Instances are stateless except for per-object monotonicity floors,
+    which are tracked on the checked objects themselves (``_sz_*``
+    attributes) so one ``Checks`` instance can watch any number of
+    simultaneous simulations.
+    """
+
+    # ------------------------------------------------------------------
+    # sim.engine
+    # ------------------------------------------------------------------
+    def event_dispatch(self, now: float, event_time: float) -> None:
+        """Event times leaving the heap must never run backwards."""
+        if event_time < now:
+            _fail(
+                "Simulator",
+                "non-decreasing event dispatch",
+                f"popped event at t={event_time!r} while clock is at {now!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # tcp.subflow / tcp.cc
+    # ------------------------------------------------------------------
+    def cwnd(self, subflow: "Subflow") -> None:
+        """Window sanity after any congestion-controller action."""
+        if subflow.cwnd < 1.0 - _EPS:
+            _fail(subflow, "cwnd >= 1 MSS", f"cwnd={subflow.cwnd!r}")
+        if subflow.cwnd > subflow.max_cwnd + _EPS:
+            _fail(
+                subflow,
+                "cwnd <= max_cwnd",
+                f"cwnd={subflow.cwnd!r} > max_cwnd={subflow.max_cwnd!r}",
+            )
+        if not subflow.ssthresh > 0.0:
+            _fail(subflow, "ssthresh > 0", f"ssthresh={subflow.ssthresh!r}")
+
+    def subflow(self, subflow: "Subflow") -> None:
+        """Full sequence/flight bookkeeping audit (after ACK or RTO)."""
+        self.cwnd(subflow)
+        if not 0 <= subflow.una <= subflow.next_seq:
+            _fail(
+                subflow,
+                "0 <= una <= next_seq",
+                f"una={subflow.una}, next_seq={subflow.next_seq}",
+            )
+        in_flight = subflow.flight
+        if in_flight < 0:
+            _fail(subflow, "flight >= 0", f"flight={in_flight}")
+        outstanding = subflow._outstanding
+        actual = sum(1 for seg in outstanding.values() if seg.in_flight)
+        if in_flight != actual:
+            _fail(
+                subflow,
+                "flight counter matches segment flags",
+                f"counter={in_flight}, flagged={actual}",
+            )
+        if in_flight > len(outstanding):
+            _fail(
+                subflow,
+                "flight <= outstanding segments",
+                f"flight={in_flight}, outstanding={len(outstanding)}",
+            )
+
+    # ------------------------------------------------------------------
+    # mptcp.connection
+    # ------------------------------------------------------------------
+    def conn_una_advance(self, conn: "MptcpConnection", data_ack: int) -> None:
+        """DATA_ACKs only move the connection-level una forward."""
+        if data_ack < conn.conn_una:
+            _fail(
+                conn,
+                "data-sequence monotonicity",
+                f"DATA_ACK {data_ack} < conn_una {conn.conn_una}",
+            )
+        if data_ack > conn.next_dsn:
+            _fail(
+                conn,
+                "DATA_ACK within assigned sequence space",
+                f"DATA_ACK {data_ack} > next_dsn {conn.next_dsn}",
+            )
+
+    def connection(self, conn: "MptcpConnection") -> None:
+        """Connection-level buffer accounting after a scheduling pass."""
+        if conn.unassigned_bytes < 0:
+            _fail(conn, "unassigned_bytes >= 0", f"{conn.unassigned_bytes}")
+        if not 0 <= conn.conn_una <= conn.next_dsn:
+            _fail(
+                conn,
+                "0 <= conn_una <= next_dsn",
+                f"conn_una={conn.conn_una}, next_dsn={conn.next_dsn}",
+            )
+        if conn.next_dsn + conn.unassigned_bytes > conn.total_written:
+            _fail(
+                conn,
+                "assigned + unassigned <= written",
+                f"next_dsn={conn.next_dsn} + unassigned={conn.unassigned_bytes}"
+                f" > written={conn.total_written}",
+            )
+
+    # ------------------------------------------------------------------
+    # mptcp.receiver
+    # ------------------------------------------------------------------
+    def receiver(self, receiver: "MptcpReceiver") -> None:
+        """Reorder-buffer bounds and delivery accounting."""
+        buffered = receiver._buffered
+        byte_sum = sum(payload for payload, _ in buffered.values())
+        if byte_sum != receiver.buffered_bytes:
+            _fail(
+                receiver,
+                "reorder-buffer byte conservation",
+                f"counter={receiver.buffered_bytes}, actual={byte_sum}",
+            )
+        if buffered and min(buffered) <= receiver.expected_dsn:
+            _fail(
+                receiver,
+                "buffered DSNs beyond the delivery point",
+                f"min buffered={min(buffered)}, expected={receiver.expected_dsn}",
+            )
+        if receiver.delivered_bytes != receiver.expected_dsn:
+            _fail(
+                receiver,
+                "delivered bytes equal the in-order DSN frontier",
+                f"delivered={receiver.delivered_bytes}, expected={receiver.expected_dsn}",
+            )
+        floor = getattr(receiver, "_sz_dsn_floor", 0)
+        if receiver.expected_dsn < floor:
+            _fail(
+                receiver,
+                "expected DSN never decreases",
+                f"expected={receiver.expected_dsn} < previously {floor}",
+            )
+        receiver._sz_dsn_floor = receiver.expected_dsn
+
+    # ------------------------------------------------------------------
+    # net.link
+    # ------------------------------------------------------------------
+    def link(self, link: "Link") -> None:
+        """Packet and byte conservation across the queue/transmitter."""
+        queued = sum(packet.size for packet, _ in link._queue)
+        if queued != link.queued_bytes:
+            _fail(
+                link,
+                "queue byte conservation",
+                f"counter={link.queued_bytes}, actual={queued}",
+            )
+        if not 0 <= link.queued_bytes <= link.queue_bytes:
+            _fail(
+                link,
+                "0 <= queued_bytes <= capacity",
+                f"queued={link.queued_bytes}, capacity={link.queue_bytes}",
+            )
+        stats = link.stats
+        accounted = (
+            stats.packets_delivered
+            + stats.packets_dropped
+            + link.queue_depth
+            + (1 if link.busy else 0)
+            + link._in_propagation
+        )
+        if stats.packets_in != accounted:
+            _fail(
+                link,
+                "packet conservation",
+                f"in={stats.packets_in}, accounted={accounted} "
+                f"(delivered={stats.packets_delivered}, dropped={stats.packets_dropped}, "
+                f"queued={link.queue_depth}, busy={link.busy}, "
+                f"propagating={link._in_propagation})",
+            )
+
+
+#: The active hook object, or ``None`` when sanitizing is off.  Protocol
+#: layers read this through the module (``sanitize.CHECKS``) so
+#: :func:`enable` / :func:`disable` take effect everywhere at once.
+CHECKS: Optional[Checks] = None
+
+
+def enable() -> None:
+    """Turn the sanitizer on (idempotent)."""
+    global CHECKS
+    if CHECKS is None:
+        CHECKS = Checks()
+
+
+def disable() -> None:
+    """Turn the sanitizer off (idempotent)."""
+    global CHECKS
+    CHECKS = None
+
+
+def enabled() -> bool:
+    """True while sanitizer checks are active."""
+    return CHECKS is not None
+
+
+if os.environ.get(ENV_VAR, "").strip() not in ("", "0"):
+    enable()

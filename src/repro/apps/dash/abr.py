@@ -14,7 +14,7 @@ representation for the *next* chunk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from repro.apps.dash.media import Representation, VideoManifest
 

@@ -14,6 +14,14 @@ Sweep commands (``grid``, ``streaming``, ``wild``) accept ``--jobs N`` to
 fan independent runs out over N worker processes, ``--cache-dir DIR`` to
 memoize finished runs on disk (a re-run executes only missing cells), and
 ``--no-cache`` to ignore a configured cache.
+
+Every experiment command accepts ``--sanitize`` to enable the runtime
+protocol sanitizer (:mod:`repro.analysis.sanitize`); ``lint`` runs the
+simulator-specific static checks (:mod:`repro.analysis.lint`)::
+
+    python -m repro.cli lint              # lint the installed repro package
+    python -m repro.cli lint src tests    # lint explicit paths
+    python -m repro.cli streaming --sanitize --scheduler ecf
 """
 
 from __future__ import annotations
@@ -66,6 +74,14 @@ def _add_common(parser: argparse.ArgumentParser, multi_sched: bool = True) -> No
     parser.add_argument("--wifi", type=float, default=1.0, help="WiFi Mbps")
     parser.add_argument("--lte", type=float, default=8.6, help="LTE Mbps")
     parser.add_argument("--seed", type=int, default=0)
+    _add_sanitize_flag(parser)
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable runtime protocol-invariant checks (REPRO_SANITIZE=1)",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -171,6 +187,23 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import RULES, default_lint_root, lint_paths
+
+    if args.list_rules:
+        for code, (summary, fixit) in sorted(RULES.items()):
+            print(f"{code}  {summary}\n        fix: {fixit}")
+        return 0
+    paths = args.paths or [default_lint_root()]
+    violations = lint_paths(paths, select=args.select)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_wild(args) -> int:
     runs = run_wild_streaming(
         runs=args.runs, video_duration=args.video,
@@ -212,13 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
     _add_executor_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser("wild", help="in-the-wild emulation")
     p.add_argument("--runs", type=int, default=5)
     p.add_argument("--video", type=float, default=60.0)
     _add_executor_flags(p)
+    _add_sanitize_flag(p)
     p.set_defaults(func=cmd_wild)
+
+    p = sub.add_parser(
+        "lint", help="simulator-specific static analysis (see repro.analysis.lint)"
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument(
+        "--select", nargs="+", metavar="CODE", default=None,
+        help="restrict to these rule codes (e.g. RPR101 RPR301)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "report", help="collate benchmarks/output/*.txt into one markdown report"
@@ -230,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        import os
+
+        from repro.analysis import sanitize
+
+        # The env var propagates the setting into executor pool workers.
+        os.environ[sanitize.ENV_VAR] = "1"
+        sanitize.enable()
     return args.func(args)
 
 

@@ -10,7 +10,7 @@ client would get).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.base import Scheduler
 
@@ -66,7 +66,9 @@ class RedundantScheduler(Scheduler):
         self.waits += 1
         return None
 
-    def duplicate_targets(self, conn: "MptcpConnection", chosen: "Subflow"):
+    def duplicate_targets(
+        self, conn: "MptcpConnection", chosen: "Subflow"
+    ) -> List["Subflow"]:
         return [
             sf for sf in conn.subflows
             if sf is not chosen and sf.can_send()

@@ -6,7 +6,7 @@ schedule), so the registry always returns a *new* instance.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from repro.core.base import Scheduler
 from repro.core.blest import BlestScheduler
@@ -47,7 +47,7 @@ SCHEDULER_NAMES = (
 )
 
 
-def make_scheduler(name: str, **params) -> Scheduler:
+def make_scheduler(name: str, **params: Any) -> Scheduler:
     """Build a new scheduler by name.
 
     ``params`` are passed to the scheduler constructor (e.g.

@@ -47,7 +47,7 @@ import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
@@ -265,13 +265,15 @@ class ExperimentExecutor:
         specs = list(specs)
         total = len(specs)
         results: List[Any] = [None] * total
-        started = time.monotonic()
+        # Wall clock is correct here: this measures the *host's* sweep
+        # progress for ETA display, not anything inside a simulation.
+        started = time.monotonic()  # repro: noqa[RPR101]
         done = 0
 
         def report() -> None:
             if self._progress is None:
                 return
-            elapsed = time.monotonic() - started
+            elapsed = time.monotonic() - started  # repro: noqa[RPR101]
             remaining = total - done
             eta: Optional[float] = None
             if remaining == 0:

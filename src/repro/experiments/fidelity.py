@@ -15,7 +15,7 @@ so drift can be inspected rather than just detected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, List, Tuple
 
 from repro.core.registry import make_scheduler
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection

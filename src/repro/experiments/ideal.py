@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.apps.dash.media import PAPER_REPRESENTATIONS, VideoManifest
+from repro.apps.dash.media import VideoManifest
 
 
 def ideal_average_bitrate(

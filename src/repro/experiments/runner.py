@@ -16,7 +16,7 @@ different :class:`StreamingRunConfig`.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Tuple
 
 from repro.apps.dash.abr import make_abr
 from repro.apps.dash.media import VideoManifest

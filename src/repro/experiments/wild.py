@@ -14,19 +14,23 @@ so Default and ECF see identical conditions).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.exec import ExperimentExecutor
 from repro.experiments.runner import StreamingRunConfig, StreamingRunResult
 from repro.net.profiles import PathConfig, wild_lte_config, wild_wifi_config
+from repro.sim.rng import RngRegistry
 from repro.workloads.web import WebBrowsingResult, WebBrowsingSpec
 
 
 def wild_path_pair(run_index: int, base_seed: int = 6) -> Tuple[PathConfig, PathConfig]:
-    """Draw the (WiFi, LTE) profiles for one wild run, deterministically."""
-    rng = random.Random(base_seed * 100_003 + run_index)
+    """Draw the (WiFi, LTE) profiles for one wild run, deterministically.
+
+    Each run index gets its own :class:`RngRegistry` stream, so adding
+    runs (or new consumers of randomness) never perturbs existing draws.
+    """
+    rng = RngRegistry(base_seed).stream(f"wild.run{run_index}")
     return wild_wifi_config(rng), wild_lte_config(rng)
 
 

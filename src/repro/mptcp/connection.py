@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Set
 
+from repro.analysis import sanitize as _sanitize
 from repro.net.packet import MSS, Packet
 from repro.net.path import Path
 from repro.mptcp.receiver import MptcpReceiver
@@ -254,6 +255,8 @@ class MptcpConnection:
                         self.duplicate_transmissions += 1
         finally:
             self._sending = False
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.connection(self)
 
     def _on_subflow_established(self) -> None:
         self.try_send()
@@ -281,6 +284,8 @@ class MptcpConnection:
         self.try_send()
 
     def _advance_conn_una(self, data_ack: int) -> None:
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.conn_una_advance(self, data_ack)
         self.conn_una = data_ack
         while self._dsn_order and self._dsn_order[0] < data_ack:
             del self._outstanding_dsn[self._dsn_order.popleft()]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.analysis import sanitize as _sanitize
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 
@@ -77,6 +78,8 @@ class MptcpReceiver:
             self._buffered_bytes += payload
             if self._buffered_bytes > self.max_buffered_bytes:
                 self.max_buffered_bytes = self._buffered_bytes
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.receiver(self)
 
     def _drain_buffer(self) -> None:
         now = self.sim.now

@@ -10,12 +10,12 @@ schedule (useful for tests and for regenerating a specific scenario).
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net.path import Path
 from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
 
 #: Rate set used by the paper's random-change scenarios (Mbps).
 PAPER_RATE_SET_MBPS = (0.3, 1.1, 1.7, 4.2, 8.6)
@@ -169,7 +169,7 @@ class RandomBandwidthProcess:
 
     def realize(self) -> PiecewiseBandwidth:
         """Draw one concrete schedule for this seed."""
-        rng = random.Random(self.seed)
+        rng = RngRegistry(self.seed).stream("bandwidth.random")
         time = 0.0
         if self.initial_rate_mbps is not None:
             rate = float(self.initial_rate_mbps)

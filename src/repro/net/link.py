@@ -22,6 +22,7 @@ import random
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from repro.analysis import sanitize as _sanitize
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator, Timer
 
@@ -136,6 +137,8 @@ class Link:
         self._busy = False
         self._down = False
         self._tx_timer: Optional[Timer] = None
+        #: Packets serialized but still in propagation (conservation audit).
+        self._in_propagation = 0
 
     # ------------------------------------------------------------------
     # Sending
@@ -161,8 +164,12 @@ class Link:
                 return False
             self._queue.append((packet, on_delivery))
             self._queued_bytes += packet.size
+            if _sanitize.CHECKS is not None:
+                _sanitize.CHECKS.link(self)
             return True
         self._begin_transmission(packet, on_delivery)
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.link(self)
         return True
 
     def _begin_transmission(
@@ -187,6 +194,7 @@ class Link:
             self.stats.packets_dropped_outage += 1
             self._notify_drop(packet)
         else:
+            self._in_propagation += 1
             self.sim.schedule(delay, self._deliver, packet, on_delivery)
         if self._queue:
             next_packet, next_cb = self._queue.popleft()
@@ -194,8 +202,11 @@ class Link:
             self._begin_transmission(next_packet, next_cb)
         else:
             self._busy = False
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.link(self)
 
     def _deliver(self, packet: Packet, on_delivery: Callable[[Packet], None]) -> None:
+        self._in_propagation -= 1
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
         on_delivery(packet)

@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.analysis import sanitize as _sanitize
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (negative delays, etc.)."""
@@ -50,7 +52,9 @@ class Timer:
         return not self.cancelled
 
     def __lt__(self, other: "Timer") -> bool:
-        if self.time != other.time:
+        # Exact float equality is intended: two timers tie only when they
+        # hold bit-identical times, and ties fall through to the seq.
+        if self.time != other.time:  # repro: noqa[RPR301]
             return self.time < other.time
         return self.seq < other.seq
 
@@ -131,6 +135,9 @@ class Simulator:
         executed = 0
         heap = self._heap
         pop = heapq.heappop
+        # Bound once per run() call: a branch on a local is free in the
+        # hot loop, and toggling the sanitizer mid-run is not supported.
+        checks = _sanitize.CHECKS
         try:
             while heap:
                 time, _, timer = heap[0]
@@ -142,6 +149,8 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 pop(heap)
+                if checks is not None:
+                    checks.event_dispatch(self.now, time)
                 self.now = time
                 timer.cancelled = True  # consumed; cancel() after firing is a no-op
                 timer.callback(*timer.args)

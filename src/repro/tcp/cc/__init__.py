@@ -27,6 +27,10 @@ _CONTROLLERS = {
     "cubic": CubicController,
 }
 
+#: Canonical controller names (aliases included), for registry-aware
+#: tooling such as ``repro.analysis.lint``.
+CONTROLLER_NAMES = tuple(sorted(_CONTROLLERS))
+
 
 def make_controller(name: str) -> CongestionController:
     """Instantiate a controller by name ("reno", "coupled"/"lia", "olia")."""
@@ -41,6 +45,7 @@ def make_controller(name: str) -> CongestionController:
 
 
 __all__ = [
+    "CONTROLLER_NAMES",
     "CongestionController",
     "RenoController",
     "CoupledController",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
+from repro.analysis import sanitize as _sanitize
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tcp.subflow import Subflow
 
@@ -51,16 +53,22 @@ class CongestionController:
             else:
                 subflow.cwnd += self.ca_increase(subflow)
         subflow.cwnd = min(subflow.cwnd, subflow.max_cwnd)
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.cwnd(subflow)
 
     def on_loss(self, subflow: "Subflow") -> None:
         """Fast-retransmit decrease: halve, per RFC 5681/6356."""
         subflow.ssthresh = max(subflow.flight / 2.0, 2.0)
         subflow.cwnd = max(subflow.ssthresh, MIN_CWND)
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.cwnd(subflow)
 
     def on_rto(self, subflow: "Subflow") -> None:
         """Timeout: collapse to one segment and re-enter slow start."""
         subflow.ssthresh = max(subflow.flight / 2.0, 2.0)
         subflow.cwnd = MIN_CWND
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.cwnd(subflow)
 
     # ------------------------------------------------------------------
     # Policy hook

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
+from repro.analysis import sanitize as _sanitize
 from repro.net.packet import ACK_SIZE, HEADER_SIZE, MSS, Packet
 from repro.net.path import Path
 from repro.sim.engine import Simulator, Timer
@@ -334,6 +335,8 @@ class Subflow:
         self._detect_losses()
         self._service_retransmissions()
         self._arm_rto()
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.subflow(self)
 
     def _advance_una(self) -> None:
         while self.una < self.next_seq:
@@ -426,6 +429,8 @@ class Subflow:
             self._retx_queue.append(segment)
         self._service_retransmissions()
         self._arm_rto()
+        if _sanitize.CHECKS is not None:
+            _sanitize.CHECKS.subflow(self)
         if self.on_rto is not None:
             self.on_rto(self)
 

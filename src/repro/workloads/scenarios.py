@@ -13,7 +13,7 @@ scheduler experiences the identical bandwidth timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.net.bandwidth import PiecewiseBandwidth, RandomBandwidthProcess
 

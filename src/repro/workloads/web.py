@@ -12,7 +12,6 @@ measure per-object download completion times and out-of-order delays.
 
 from __future__ import annotations
 
-import random
 from dataclasses import asdict, dataclass, field
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -51,7 +50,7 @@ def cnn_like_page(seed: int = 2014, object_count: int = CNN_OBJECT_COUNT) -> Web
     ~10% large objects (120 kB - 1 MB).  Total lands around 2-3 MB, in
     line with contemporary page-weight surveys.
     """
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("web.page")
     sizes: List[int] = []
     for _ in range(object_count):
         bucket = rng.random()
@@ -242,7 +241,7 @@ def run_web(spec: WebBrowsingSpec) -> WebBrowsingResult:
         result.ooo_delays.extend(conn.receiver.ooo_delays)
         result.iw_resets += sum(sf.stats.iw_resets for sf in conn.subflows)
         result.reinjections += conn.reinjections
-    if result.page_load_time == 0.0 and result.objects_completed:
+    if not result.page_load_time and result.objects_completed:
         result.page_load_time = sim.now
     return result
 

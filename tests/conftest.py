@@ -8,7 +8,7 @@ from repro.core.registry import make_scheduler
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.link import Link
 from repro.net.path import Path
-from repro.net.profiles import PathConfig, lte_config, make_path, wifi_config
+from repro.net.profiles import lte_config, make_path, wifi_config
 from repro.sim.engine import Simulator
 
 

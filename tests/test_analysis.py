@@ -1,0 +1,322 @@
+"""Tests for the static lint and the runtime sanitizer (repro.analysis)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.lint import RULES, lint_paths, lint_source
+from repro.analysis.sanitize import Checks, SanitizerError
+from repro.cli import main as cli_main
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from tests.conftest import build_connection, drain
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE = Path(__file__).parent / "data" / "lint_bad.py"
+
+#: Registries for rule tests: deliberately tiny so RPR501 tests do not
+#: depend on what the real registries happen to contain.
+TEST_REGISTRIES = {
+    "scheduler": {"ecf", "minrtt"},
+    "congestion_control": {"cubic"},
+    "bandwidth": {"constant"},
+    "experiment": {"streaming"},
+}
+
+
+def codes_of(source: str, **kwargs):
+    kwargs.setdefault("registries", TEST_REGISTRIES)
+    return [v.code for v in lint_source(source, **kwargs)]
+
+
+class TestLintRules:
+    """Each rule fires on a bad snippet and stays silent on a good one."""
+
+    def test_rpr101_wall_clock(self):
+        assert codes_of("import time\nt = time.time()\n") == ["RPR101"]
+        assert codes_of("t = sim.now\n") == []
+
+    def test_rpr101_datetime(self):
+        assert codes_of("import datetime\nd = datetime.datetime.now()\n") == ["RPR101"]
+
+    def test_rpr102_module_level_random(self):
+        assert codes_of("import random\nx = random.random()\n") == ["RPR102"]
+        assert codes_of("x = rng.random()\n") == []
+
+    def test_rpr103_adhoc_random_construction(self):
+        assert codes_of("import random\nr = random.Random(42)\n") == ["RPR103"]
+        good = "from repro.sim.rng import RngRegistry\nr = RngRegistry(42).stream('x')\n"
+        assert codes_of(good) == []
+
+    def test_rpr103_allowlisted_in_rng_module(self):
+        source = "import random\nr = random.Random(42)\n"
+        assert lint_source(
+            source, path="src/repro/sim/rng.py", registries=TEST_REGISTRIES
+        ) == []
+
+    def test_rpr201_mutable_default(self):
+        assert codes_of("def f(x, acc=[]):\n    return acc\n") == ["RPR201"]
+        assert codes_of("def f(x, acc={}):\n    return acc\n") == ["RPR201"]
+        assert codes_of("def f(x, acc=None):\n    return acc or []\n") == []
+
+    def test_rpr301_float_eq_on_timestamp(self):
+        assert codes_of("done = now == deadline\n") == ["RPR301"]
+        assert codes_of("done = packet.arrival_time != 0.0\n") == ["RPR301"]
+        assert codes_of("done = now >= deadline\n") == []
+        assert codes_of("done = count == total\n") == []
+
+    def test_rpr301_non_numeric_literal_ok(self):
+        # Comparing a timestamp-named field against None/str is not float
+        # equality and must pass.
+        assert codes_of("if completed_at == None:\n    pass\n") == []
+
+    def test_rpr401_unfrozen_spec(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class FooSpec:\n"
+            "    x: int = 0\n"
+        )
+        assert codes_of(bad) == ["RPR401"]
+        good = bad.replace("@dataclass", "@dataclass(frozen=True)")
+        assert codes_of(good) == []
+
+    def test_rpr401_kind_classvar_marks_spec(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "from typing import ClassVar\n"
+            "@dataclass\n"
+            "class Campaign:\n"
+            "    kind: ClassVar[str] = 'streaming'\n"
+            "    x: int = 0\n"
+        )
+        assert codes_of(bad) == ["RPR401"]
+
+    def test_rpr401_non_spec_dataclass_ignored(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Mutable:\n"
+            "    x: int = 0\n"
+        )
+        assert codes_of(source) == []
+
+    def test_rpr402_live_object_field(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    sim: Simulator = None\n"
+        )
+        assert codes_of(bad) == ["RPR402"]
+
+    def test_rpr402_string_forward_reference(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "from typing import Optional\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    link: Optional['Link'] = None\n"
+        )
+        assert codes_of(bad) == ["RPR402"]
+
+    def test_rpr402_plain_fields_ok(self):
+        good = (
+            "from dataclasses import dataclass\n"
+            "from typing import Tuple\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    rates: Tuple[float, ...] = ()\n"
+            "    name: str = 'x'\n"
+        )
+        assert codes_of(good) == []
+
+    def test_rpr501_unknown_kind_in_call(self):
+        assert codes_of("s = make_scheduler('warpdrive')\n") == ["RPR501"]
+        assert codes_of("s = make_scheduler('ecf')\n") == []
+
+    def test_rpr501_unknown_kind_in_spec_default(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class FooSpec:\n"
+            "    scheduler: str = 'warpdrive'\n"
+        )
+        assert codes_of(bad) == ["RPR501"]
+        assert codes_of(bad.replace("warpdrive", "minrtt")) == []
+
+    def test_rpr501_case_insensitive(self):
+        assert codes_of("s = make_scheduler('ECF')\n") == []
+
+
+class TestNoqaAndSelect:
+    def test_blanket_noqa(self):
+        source = "import time\nt = time.time()  # repro: noqa\n"
+        assert codes_of(source) == []
+
+    def test_coded_noqa(self):
+        source = "import time\nt = time.time()  # repro: noqa[RPR101]\n"
+        assert codes_of(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import time\nt = time.time()  # repro: noqa[RPR301]\n"
+        assert codes_of(source) == ["RPR101"]
+
+    def test_select_restricts(self):
+        source = "import time, random\nt = time.time()\nx = random.random()\n"
+        assert codes_of(source) == ["RPR101", "RPR102"]
+        assert codes_of(source, select=["RPR102"]) == ["RPR102"]
+
+    def test_select_unknown_code_raises(self):
+        with pytest.raises(ValueError):
+            lint_source("x = 1\n", select=["RPR999"], registries=TEST_REGISTRIES)
+
+    def test_violation_format_mentions_fixit(self):
+        violations = lint_source(
+            "import time\nt = time.time()\n", path="mod.py", registries=TEST_REGISTRIES
+        )
+        text = violations[0].format()
+        assert text.startswith("mod.py:2:")
+        assert "RPR101" in text
+        assert RULES["RPR101"][1] in text
+
+
+class TestLintCli:
+    def test_fixture_trips_every_rule(self):
+        codes = {v.code for v in lint_paths([FIXTURE])}
+        assert codes == set(RULES)
+
+    def test_cli_nonzero_on_fixture(self, capsys):
+        assert cli_main(["lint", str(FIXTURE)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR101" in out
+
+    def test_cli_zero_on_package(self):
+        assert cli_main(["lint", str(REPO_ROOT / "src" / "repro")]) == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([str(REPO_ROOT / "does-not-exist")])
+
+
+@pytest.fixture
+def sanitized():
+    """Sanitizer on for one test, restored afterwards."""
+    was_on = sanitize.enabled()
+    sanitize.enable()
+    yield
+    if not was_on:
+        sanitize.disable()
+
+
+class TestSanitizer:
+    def test_disabled_by_default(self):
+        # The suite itself may run under REPRO_SANITIZE=1; only assert
+        # the toggle works, not the ambient state.
+        was_on = sanitize.enabled()
+        sanitize.disable()
+        assert not sanitize.enabled()
+        sanitize.enable()
+        assert sanitize.enabled()
+        if not was_on:
+            sanitize.disable()
+
+    def test_clean_run_passes(self, sanitized):
+        sim = Simulator()
+        conn = build_connection(sim)
+        conn.write(200_000)
+        drain(sim)
+        assert conn.delivered_bytes == 200_000
+
+    def test_cwnd_collapse_detected(self, sanitized):
+        sim = Simulator()
+        conn = build_connection(sim)
+        subflow = conn.subflows[0]
+        subflow.cwnd = 0.1
+        with pytest.raises(SanitizerError, match="cwnd >= 1 MSS"):
+            sanitize.CHECKS.cwnd(subflow)
+
+    def test_ssthresh_zero_detected(self, sanitized):
+        sim = Simulator()
+        conn = build_connection(sim)
+        subflow = conn.subflows[0]
+        subflow.ssthresh = 0.0
+        with pytest.raises(SanitizerError, match="ssthresh > 0"):
+            sanitize.CHECKS.cwnd(subflow)
+
+    def test_corruption_caught_mid_simulation(self, sanitized):
+        sim = Simulator()
+        conn = build_connection(sim)
+        conn.write(500_000)
+        # ssthresh=0 stays corrupt until the next ACK audit (a corrupted
+        # cwnd would self-heal: the controller raises it before the check).
+        sim.schedule(0.05, lambda: setattr(conn.subflows[0], "ssthresh", 0.0))
+        with pytest.raises(SanitizerError):
+            drain(sim)
+
+    def test_event_dispatch_violation(self, sanitized):
+        import heapq
+
+        from repro.sim.engine import Timer
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        # Hand-push a stale event behind the clock; schedule() itself
+        # would legitimately refuse this, which is the point of the check.
+        timer = Timer(0.5, 10_000, lambda: None, ())
+        heapq.heappush(sim._heap, (0.5, 10_000, timer))
+        with pytest.raises(SanitizerError, match="non-decreasing event dispatch"):
+            sim.run()
+
+    def test_off_means_no_hooks(self):
+        was_on = sanitize.enabled()
+        sanitize.disable()
+        try:
+            assert sanitize.CHECKS is None
+            sim = Simulator()
+            conn = build_connection(sim)
+            conn.subflows[0].cwnd = 0.1  # corrupt; nothing should notice
+            conn.subflows[0].cwnd = 10.0
+        finally:
+            if was_on:
+                sanitize.enable()
+
+    def test_error_is_assertion_error(self):
+        with pytest.raises(AssertionError):
+            Checks().event_dispatch(now=2.0, event_time=1.0)
+
+
+class TestRngRegistryFork:
+    def test_fork_streams_independent_of_parent(self):
+        parent = RngRegistry(seed=7)
+        child = parent.fork("worker")
+        parent_draws = [parent.stream("loss").random() for _ in range(4)]
+        child_draws = [child.stream("loss").random() for _ in range(4)]
+        assert parent_draws != child_draws
+
+    def test_fork_unaffected_by_parent_consumption(self):
+        a = RngRegistry(seed=7)
+        a.stream("loss").random()  # consume from the parent first
+        b = RngRegistry(seed=7)
+        assert (
+            a.fork("worker").stream("loss").random()
+            == b.fork("worker").stream("loss").random()
+        )
+
+    def test_fork_names_distinct(self):
+        registry = RngRegistry(seed=7)
+        assert (
+            registry.fork("alpha").stream("x").random()
+            != registry.fork("beta").stream("x").random()
+        )

@@ -5,7 +5,6 @@ interfaces; these tests pin the sharing behaviour the browser model
 relies on.
 """
 
-import pytest
 
 from repro.apps.http import HttpSession
 from repro.core.registry import make_scheduler

@@ -1,6 +1,5 @@
 """Edge cases of the DASH player and HTTP interplay."""
 
-import pytest
 
 from repro.apps.dash.abr import FixedAbr, ThroughputAbr
 from repro.apps.dash.media import VideoManifest

@@ -6,7 +6,6 @@ ends when the fast path frees, hysteresis persists across consecutive
 decisions, and more than two subflows are handled.
 """
 
-import pytest
 
 from repro.core.ecf import EcfScheduler
 from tests.conftest import build_connection, drain

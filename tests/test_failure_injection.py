@@ -15,8 +15,7 @@ from repro.net.packet import Packet
 from repro.net.path import Path
 from repro.core.registry import make_scheduler
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
-from repro.sim.engine import Simulator
-from tests.conftest import build_connection, build_path, drain
+from tests.conftest import build_connection, drain
 
 
 class TestLinkOutage:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.registry import make_scheduler
-from repro.mptcp.connection import ConnectionConfig, MptcpConnection
+from repro.mptcp.connection import MptcpConnection
 from tests.conftest import build_connection, build_path, drain
 
 

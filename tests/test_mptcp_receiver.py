@@ -4,7 +4,6 @@ import pytest
 
 from repro.mptcp.receiver import MptcpReceiver
 from repro.net.packet import Packet
-from repro.sim.engine import Simulator
 
 
 def data(dsn, payload=100, sf=0):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.net.link import Link
 from repro.net.packet import Packet
-from repro.sim.engine import Simulator
 
 
 def make_link(sim, rate_bps=1e6, delay=0.01, queue_bytes=10_000, **kw):

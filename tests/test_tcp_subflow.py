@@ -8,7 +8,7 @@ recovery, RTO behaviour, and the idle congestion-window reset.
 import pytest
 
 from repro.tcp.subflow import DUP_THRESHOLD, INITIAL_WINDOW
-from tests.conftest import build_connection, build_path, drain
+from tests.conftest import build_connection, drain
 
 
 def single_path_conn(sim, **kw):

@@ -1,9 +1,7 @@
 """Edge-case tests of the subflow state machine: Karn's rule, recovery
 episode accounting, retransmission interplay, and idle-reset corners."""
 
-import pytest
 
-from repro.tcp.subflow import INITIAL_WINDOW
 from tests.conftest import build_connection, drain
 
 

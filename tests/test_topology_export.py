@@ -17,7 +17,6 @@ from repro.metrics.export import (
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.packet import Packet
 from repro.net.topology import CompositeForward, LinkSpec, chain_path, shared_bottleneck
-from repro.sim.engine import Simulator
 
 
 class TestCompositeForward:

@@ -24,11 +24,15 @@ class TestPageModel:
         assert cnn_like_page(seed=1).object_sizes != cnn_like_page(seed=2).object_sizes
 
     def test_size_mix_is_heavy_tailed(self):
+        # Golden bumped when cnn_like_page moved from ad-hoc
+        # random.Random(seed) to an RngRegistry stream: the default
+        # draw's total is ~11.6 MB, a high-but-legitimate sample of the
+        # mix (p5-p95 across seeds is roughly 4-10 MB).
         page = cnn_like_page()
         sizes = sorted(page.object_sizes)
         assert sizes[0] < 10_000
         assert sizes[-1] > 100_000
-        assert 1_000_000 < page.total_bytes < 10_000_000
+        assert 1_000_000 < page.total_bytes < 16_000_000
 
     def test_total_bytes(self):
         page = WebPage((100, 200))
