@@ -1,18 +1,25 @@
-"""Static analysis and runtime sanitization for the reproduction.
+"""Static analysis, runtime sanitization, and trace-level checking.
 
-Two halves guard the simulator's invariants:
+Four layers guard the simulator's invariants:
 
 * :mod:`repro.analysis.lint` -- an AST linter with simulator-specific
   rules (wall-clock reads, ad-hoc randomness, mutable defaults, float
-  equality on timestamps, unfrozen specs, unresolvable registry kinds);
+  equality on timestamps, unfrozen specs, unresolvable registry kinds,
+  out-of-engine event-queue manipulation);
 * :mod:`repro.analysis.sanitize` -- runtime assertion hooks in the
   protocol layers, enabled with ``REPRO_SANITIZE=1`` / ``--sanitize``
-  and compiled down to a single ``is None`` test when off.
+  and compiled down to a single ``is None`` test when off;
+* :mod:`repro.analysis.events` + :mod:`repro.analysis.check` -- a
+  structured event log and a temporal property catalog over it,
+  including the :mod:`repro.analysis.reference` differential oracles
+  (``REPRO_CHECK=1`` / ``repro check``);
+* :mod:`repro.analysis.races` -- an event-order race detector re-running
+  scenarios under randomized same-timestamp tie-breaking.
 
-The lint half is re-exported lazily: every protocol module imports
-``repro.analysis.sanitize`` (which runs this ``__init__``), so importing
-the linter eagerly here would drag the scheduler and experiment
-registries into every hot-path import.
+Only the sanitizer is imported eagerly: every protocol module imports
+``repro.analysis.sanitize`` and ``repro.analysis.events`` (which run
+this ``__init__``), so importing the heavier layers here would drag the
+scheduler and experiment registries into every hot-path import.
 """
 
 from __future__ import annotations

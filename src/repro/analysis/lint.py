@@ -17,6 +17,7 @@ RPR301   no float ``==`` / ``!=`` on simulated timestamps
 RPR401   experiment spec dataclasses must be ``frozen=True``
 RPR402   spec fields must be plain values, not live simulator objects
 RPR501   registry kind strings must resolve against their registry
+RPR901   no event-queue manipulation outside ``repro.sim.engine``
 =======  ==========================================================
 
 Each violation carries a fix-it hint.  A rule can be suppressed on one
@@ -74,6 +75,11 @@ RULES: Dict[str, Tuple[str, str]] = {
     "RPR501": (
         "unknown registry kind string",
         "use a name the registry resolves; typos here only fail at run time",
+    ),
+    "RPR901": (
+        "event-queue manipulation outside repro.sim.engine",
+        "schedule through Simulator.schedule/schedule_at; direct heapq or "
+        "_heap access bypasses tie-break keys and breaks the race detector",
     ),
 }
 
@@ -136,6 +142,11 @@ _LIVE_OBJECT_TYPES = frozenset(
 #: Files allowed to construct ``random.Random`` directly: the registry
 #: itself, which exists to own that construction.
 _RNG_CONSTRUCTION_ALLOWLIST = ("repro/sim/rng.py",)
+
+#: The one file allowed to import ``heapq`` or touch a simulator's
+#: ``_heap``: the engine owns the event queue, including the tie-break
+#: key shape the race detector relies on (RPR901).
+_EVENT_QUEUE_ALLOWLIST = ("repro/sim/engine.py",)
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 
@@ -204,6 +215,7 @@ class _Linter(ast.NodeVisitor):
         self.violations: List[Violation] = []
         posix = Path(path).as_posix()
         self.allow_rng_construction = posix.endswith(_RNG_CONSTRUCTION_ALLOWLIST)
+        self.allow_event_queue = posix.endswith(_EVENT_QUEUE_ALLOWLIST)
 
     # -- helpers -------------------------------------------------------
     def add(self, node: ast.AST, code: str, detail: str = "") -> None:
@@ -265,6 +277,24 @@ class _Linter(ast.NodeVisitor):
                 f"{value!r} is not a registered {registry_key} kind "
                 f"(known: {', '.join(sorted(known))})",
             )
+
+    # -- RPR901 (event-queue manipulation) -----------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.allow_event_queue:
+            for alias in node.names:
+                if alias.name == "heapq":
+                    self.add(node, "RPR901", "import heapq")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.allow_event_queue and node.module == "heapq":
+            self.add(node, "RPR901", "from heapq import ...")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self.allow_event_queue and node.attr == "_heap":
+            self.add(node, "RPR901", "direct _heap access")
+        self.generic_visit(node)
 
     # -- RPR201 (mutable defaults) -------------------------------------
     def _check_defaults(self, node) -> None:

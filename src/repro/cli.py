@@ -16,12 +16,18 @@ memoize finished runs on disk (a re-run executes only missing cells), and
 ``--no-cache`` to ignore a configured cache.
 
 Every experiment command accepts ``--sanitize`` to enable the runtime
-protocol sanitizer (:mod:`repro.analysis.sanitize`); ``lint`` runs the
-simulator-specific static checks (:mod:`repro.analysis.lint`)::
+protocol sanitizer (:mod:`repro.analysis.sanitize`) and ``--check`` to
+wrap each run in trace-level record-and-check
+(:mod:`repro.analysis.check`); ``lint`` runs the simulator-specific
+static checks (:mod:`repro.analysis.lint`) and ``check`` runs the full
+conformance matrix -- property catalog, differential oracles, and the
+event-order race detector::
 
     python -m repro.cli lint              # lint the installed repro package
     python -m repro.cli lint src tests    # lint explicit paths
     python -m repro.cli streaming --sanitize --scheduler ecf
+    python -m repro.cli check             # full conformance matrix
+    python -m repro.cli check --scenario dash --scheduler ecf-nowait  # must fail
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.fixtures import FIXTURE_SCHEDULERS
 from repro.apps.bulk import run_bulk_download
 from repro.apps.dash.media import VideoManifest
 from repro.core.registry import SCHEDULER_NAMES
@@ -81,6 +88,14 @@ def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize", action="store_true",
         help="enable runtime protocol-invariant checks (REPRO_SANITIZE=1)",
+    )
+
+
+def _add_check_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check", action="store_true",
+        help="record an event log per run and fail on temporal property "
+        "violations (REPRO_CHECK=1; see repro.analysis.check)",
     )
 
 
@@ -204,6 +219,81 @@ def cmd_lint(args) -> int:
     return 0
 
 
+#: Scenarios `repro check` can run the property catalog over.  The race
+#: detector only covers the single-connection ones: web's six connections
+#: share links, so same-instant queue arrivals are *semantic* ties that
+#: legitimately serve in either order.
+CHECK_SCENARIOS = ("dash", "bulk", "web")
+RACE_SCENARIOS = ("dash", "bulk")
+
+
+def _check_scenario(name: str, scheduler: str, args):
+    """(runner, spec) for one cell of the check matrix."""
+    from repro.apps.bulk import BulkDownloadSpec, run_bulk
+    from repro.workloads.web import WebBrowsingSpec, run_web
+
+    paths = (wifi_config(args.wifi), lte_config(args.lte))
+    if name == "dash":
+        from repro.experiments.runner import run_streaming
+
+        return run_streaming, StreamingRunConfig(
+            scheduler=scheduler, wifi_mbps=args.wifi, lte_mbps=args.lte,
+            video_duration=args.video, seed=args.seed,
+        )
+    if name == "bulk":
+        return run_bulk, BulkDownloadSpec(
+            scheduler=scheduler, path_configs=paths, size=args.size, seed=args.seed,
+        )
+    if name == "web":
+        return run_web, WebBrowsingSpec(
+            scheduler=scheduler, path_configs=paths, seed=args.seed,
+        )
+    raise ValueError(f"unknown check scenario {name!r}")
+
+
+def cmd_check(args) -> int:
+    from repro.analysis import check as _check
+    from repro.analysis.races import race_check
+
+    failures = 0
+    for scenario in args.scenario:
+        for scheduler in args.scheduler:
+            runner, spec = _check_scenario(scenario, scheduler, args)
+            label = f"{scenario}/{scheduler}"
+            try:
+                _, report = _check.run_with_checks(runner, spec)
+            except _check.CheckError as exc:
+                failures += 1
+                print(f"{label:<22} FAIL")
+                for line in str(exc).splitlines():
+                    print(f"  {line}")
+            else:
+                print(
+                    f"{label:<22} ok    "
+                    f"({len(report.properties_checked)} properties, "
+                    f"{report.events_seen} events)"
+                )
+    if not args.skip_races:
+        for scenario in args.scenario:
+            if scenario not in RACE_SCENARIOS:
+                continue
+            for scheduler in args.scheduler:
+                runner, spec = _check_scenario(scenario, scheduler, args)
+                label = f"races:{scenario}/{scheduler}"
+                report = race_check(runner, spec, orders=args.orders)
+                if report.ok:
+                    print(f"{label:<22} ok    ({report.format()})")
+                else:
+                    failures += 1
+                    print(f"{label:<22} FAIL")
+                    for line in report.format().splitlines():
+                        print(f"  {line}")
+    if failures:
+        print(f"{failures} check(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_wild(args) -> int:
     runs = run_wild_streaming(
         runs=args.runs, video_duration=args.video,
@@ -234,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--video", type=float, default=120.0, help="video seconds")
     _add_executor_flags(p)
+    _add_check_flag(p)
     p.set_defaults(func=cmd_streaming)
 
     p = sub.add_parser("web", help="full-page Web browsing")
@@ -246,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_executor_flags(p)
     _add_sanitize_flag(p)
+    _add_check_flag(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser("wild", help="in-the-wild emulation")
@@ -253,7 +345,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video", type=float, default=60.0)
     _add_executor_flags(p)
     _add_sanitize_flag(p)
+    _add_check_flag(p)
     p.set_defaults(func=cmd_wild)
+
+    p = sub.add_parser(
+        "check",
+        help="trace-level conformance: property catalog, differential "
+        "oracles, and the event-order race detector",
+    )
+    p.add_argument(
+        "--scheduler", nargs="+", default=["ecf", "minrtt"],
+        choices=SCHEDULER_NAMES + FIXTURE_SCHEDULERS,
+        help="scheduler(s) to check (fixture names like ecf-nowait run the "
+        "seeded-violation variants)",
+    )
+    p.add_argument(
+        "--scenario", nargs="+", default=list(CHECK_SCENARIOS),
+        choices=CHECK_SCENARIOS, help="scenario matrix to run the catalog over",
+    )
+    p.add_argument(
+        "--orders", type=_positive_int, default=5, metavar="N",
+        help="randomized tie-break orders per race-detector scenario (default: 5)",
+    )
+    p.add_argument(
+        "--skip-races", action="store_true",
+        help="run only the property catalog, not the race detector",
+    )
+    p.add_argument("--wifi", type=float, default=8.6, help="WiFi Mbps")
+    p.add_argument("--lte", type=float, default=8.6, help="LTE Mbps")
+    p.add_argument("--video", type=float, default=30.0, help="DASH video seconds")
+    p.add_argument(
+        "--size", type=parse_size, default=parse_size("512k"),
+        help="bulk download size",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
         "lint", help="simulator-specific static analysis (see repro.analysis.lint)"
@@ -289,6 +415,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The env var propagates the setting into executor pool workers.
         os.environ[sanitize.ENV_VAR] = "1"
         sanitize.enable()
+    if getattr(args, "check", False):
+        import os
+
+        from repro.analysis import check
+
+        # Read by the executor around every run -- in-process and in pool
+        # workers alike (the pool inherits the environment).
+        os.environ[check.ENV_VAR] = "1"
     return args.func(args)
 
 

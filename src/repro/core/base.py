@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.analysis import events as _events
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mptcp.connection import MptcpConnection
     from repro.tcp.subflow import Subflow
@@ -31,6 +33,7 @@ class Scheduler:
 
     def __init__(self) -> None:
         self.conn: Optional["MptcpConnection"] = None
+        self.uid = _events.next_uid()
         self.decisions = 0
         self.waits = 0
 

@@ -26,8 +26,10 @@ hot window.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.analysis import events as _events
 from repro.core.base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -36,6 +38,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Paper's hysteresis constant ("set to 0.25 throughout our experiments").
 DEFAULT_BETA = 0.25
+
+
+@dataclass(frozen=True)
+class EcfInputs:
+    """Everything Algorithm 1 reads for one wait-or-send decision.
+
+    Gathered by :meth:`EcfScheduler._decision_inputs` and passed to
+    :meth:`EcfScheduler._evaluate`; also what gets logged with every
+    decision so the reference oracle in :mod:`repro.analysis.reference`
+    can replay it offline.
+    """
+
+    k_segments: float
+    rtt_f: float
+    rtt_s: float
+    cwnd_f: float
+    cwnd_s: float
+    delta: float
+    n_rounds: float
+    threshold: float
 
 
 class EcfScheduler(Scheduler):
@@ -56,8 +78,10 @@ class EcfScheduler(Scheduler):
 
     def __init__(self, beta: float = DEFAULT_BETA, use_second_inequality: bool = True) -> None:
         super().__init__()
-        if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta!r}")
+        # NaN compares false against everything, so a plain `beta < 0`
+        # check lets it through and silently poisons both inequalities.
+        if not math.isfinite(beta) or beta < 0:
+            raise ValueError(f"beta must be finite and non-negative, got {beta!r}")
         self.beta = beta
         self.use_second_inequality = use_second_inequality
         self.waiting = False
@@ -83,7 +107,6 @@ class EcfScheduler(Scheduler):
             return None
 
         if self._should_wait_for_fast(conn, fastest, second):
-            self.waiting = True
             self.wait_decisions += 1
             self.waits += 1
             return None
@@ -96,7 +119,52 @@ class EcfScheduler(Scheduler):
     def _should_wait_for_fast(
         self, conn: "MptcpConnection", fastest: "Subflow", second: "Subflow"
     ) -> bool:
-        """Evaluate Algorithm 1's two inequalities.
+        """One wait-or-send decision: gather inputs, evaluate, log.
+
+        The split into :meth:`_decision_inputs` / :meth:`_evaluate` keeps
+        the event-log record and the hysteresis state machine here, in
+        one place, so variants overriding :meth:`_evaluate` (ablations,
+        the deliberately broken fixtures in
+        :mod:`repro.analysis.fixtures`) stay fully observable to the
+        differential oracle.
+        """
+        waiting_before = self.waiting
+        inputs = self._decision_inputs(conn, fastest, second)
+        wait = self._evaluate(inputs)
+        if wait:
+            self.waiting = True
+        elif not (inputs.n_rounds * inputs.rtt_f < inputs.threshold):
+            # Hysteresis clears only when inequality 1 itself fails; a
+            # send forced by inequality 2 leaves the waiting state latched.
+            self.waiting = False
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.EcfDecision(
+                t=conn.sim.now,
+                sched_uid=self.uid,
+                decision="wait" if wait else "slow",
+                fastest_uid=fastest.uid,
+                fastest_sf=fastest.sf_id,
+                second_uid=second.uid,
+                second_sf=second.sf_id,
+                k_segments=inputs.k_segments,
+                cwnd_f=inputs.cwnd_f,
+                cwnd_s=inputs.cwnd_s,
+                rtt_f=inputs.rtt_f,
+                rtt_s=inputs.rtt_s,
+                delta=inputs.delta,
+                beta=self.beta,
+                use_second_inequality=self.use_second_inequality,
+                waiting_before=waiting_before,
+                waiting_after=self.waiting,
+                n_rounds=inputs.n_rounds,
+                threshold=inputs.threshold,
+            ))
+        return wait
+
+    def _decision_inputs(
+        self, conn: "MptcpConnection", fastest: "Subflow", second: "Subflow"
+    ) -> EcfInputs:
+        """Snapshot the quantities both inequalities read.
 
         ``k/CWND`` counts *transmission rounds*, each costing one RTT, so
         it is taken as a whole number of rounds (ceil).  This matches the
@@ -111,16 +179,28 @@ class EcfScheduler(Scheduler):
         cwnd_f = max(fastest.cwnd, 1.0)
         cwnd_s = max(second.cwnd, 1.0)
         delta = max(fastest.rtt.sigma, second.rtt.sigma)
-
         n = 1.0 + math.ceil(k_segments / cwnd_f)
         threshold = (1.0 + (self.beta if self.waiting else 0.0)) * (rtt_s + delta)
-        if n * rtt_f < threshold:
+        return EcfInputs(
+            k_segments=k_segments,
+            rtt_f=rtt_f,
+            rtt_s=rtt_s,
+            cwnd_f=cwnd_f,
+            cwnd_s=cwnd_s,
+            delta=delta,
+            n_rounds=n,
+            threshold=threshold,
+        )
+
+    def _evaluate(self, inputs: EcfInputs) -> bool:
+        """Algorithm 1's two inequalities, stateless.  True means wait."""
+        if inputs.n_rounds * inputs.rtt_f < inputs.threshold:
             if not self.use_second_inequality:
                 return True
-            if math.ceil(k_segments / cwnd_s) * rtt_s >= 2.0 * rtt_f + delta:
-                return True
-            return False
-        self.waiting = False
+            return (
+                math.ceil(inputs.k_segments / inputs.cwnd_s) * inputs.rtt_s
+                >= 2.0 * inputs.rtt_f + inputs.delta
+            )
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

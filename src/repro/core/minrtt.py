@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.analysis import events as _events
 from repro.core.base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -24,7 +25,17 @@ class MinRttScheduler(Scheduler):
 
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         self.decisions += 1
-        choice = self.fastest(self.available_subflows(conn))
+        available = self.available_subflows(conn)
+        choice = self.fastest(available)
         if choice is None:
             self.waits += 1
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.MinRttDecision(
+                t=conn.sim.now,
+                sched_uid=self.uid,
+                chosen_sf=None if choice is None else choice.sf_id,
+                available=tuple(
+                    (sf.sf_id, sf.srtt_or_default()) for sf in available
+                ),
+            ))
         return choice

@@ -26,6 +26,22 @@ def _make_mpdash() -> Scheduler:
     return MpDashScheduler()
 
 
+def _make_fixture(name: str) -> Callable[..., Scheduler]:
+    # Imported lazily: the fixtures live in repro.analysis, which would
+    # otherwise cycle back into core at import time.
+    def factory(**params: Any) -> Scheduler:
+        from repro.analysis import fixtures
+
+        cls = {
+            "ecf-nowait": fixtures.NoWaitEcfScheduler,
+            "ecf-noineq2": fixtures.NoSecondInequalityEcfScheduler,
+            "ecf-invbeta": fixtures.LateHalvingEcfScheduler,
+        }[name]
+        return cls(**params)
+
+    return factory
+
+
 _FACTORIES: Dict[str, Callable[..., Scheduler]] = {
     "minrtt": MinRttScheduler,
     "default": MinRttScheduler,
@@ -36,6 +52,12 @@ _FACTORIES: Dict[str, Callable[..., Scheduler]] = {
     "redundant": RedundantScheduler,
     "primary": PrimaryOnlyScheduler,
     "mpdash": _make_mpdash,
+    # Seeded-violation fixtures for the checking layer (repro.analysis):
+    # constructible by name for `repro check --scheduler ...`, but kept
+    # out of SCHEDULER_NAMES so sweeps never enumerate them.
+    "ecf-nowait": _make_fixture("ecf-nowait"),
+    "ecf-noineq2": _make_fixture("ecf-noineq2"),
+    "ecf-invbeta": _make_fixture("ecf-invbeta"),
 }
 
 #: Canonical user-facing scheduler names.  ("mpdash" additionally needs an

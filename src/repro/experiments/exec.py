@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.analysis import check
 from repro.experiments.spec import (
     SCHEMA_VERSION,
     canonical_json,
@@ -155,7 +156,13 @@ def _execute_payload(payload: Dict[str, Any], timeout_s: Optional[float]) -> Dic
     spec = spec_from_dict(payload)
     label = f"{payload['kind']} {spec_hash(spec)[:12]}"
     with _wall_clock_limit(timeout_s, label):
-        result = run_spec(spec)
+        if check.check_enabled():
+            # REPRO_CHECK: record a structured event log around the run
+            # and verify the temporal property catalog over it.  A
+            # CheckError propagates like any other worker failure.
+            result, _report = check.run_with_checks(run_spec, spec)
+        else:
+            result = run_spec(spec)
     return result.to_dict()
 
 

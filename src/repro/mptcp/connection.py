@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Sequence, Set
 
+from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
 from repro.net.packet import MSS, Packet
 from repro.net.path import Path
@@ -328,6 +329,16 @@ class MptcpConnection:
             self._rto_reinject_queue.popleft()
             self._rto_reinject_pending.discard(dsn)
             self.reinjections += 1
+            if _events.LOG is not None:
+                _events.LOG.emit(_events.Reinjection(
+                    t=self.sim.now,
+                    conn=self.name,
+                    dsn=dsn,
+                    payload=payload,
+                    from_sf=owner_id,
+                    to_sf=target.sf_id,
+                    cause="rto",
+                ))
             target.send_segment(dsn, payload)
 
     # ------------------------------------------------------------------
@@ -360,6 +371,16 @@ class MptcpConnection:
             return
         self._reinjected.add(self.conn_una)
         self.reinjections += 1
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.Reinjection(
+                t=self.sim.now,
+                conn=self.name,
+                dsn=self.conn_una,
+                payload=payload,
+                from_sf=owner_id,
+                to_sf=target.sf_id,
+                cause="opportunistic",
+            ))
         target.send_segment(self.conn_una, payload)
         last = self._last_penalized.get(owner_id, -float("inf"))
         if self.sim.now - last >= owner.srtt_or_default():

@@ -8,14 +8,46 @@ is expressed as callbacks scheduled on one :class:`Simulator` instance.
 Determinism: ties in event time are broken by a monotonically increasing
 sequence number, so two runs with the same seed execute events in the same
 order regardless of hash randomization or dict ordering.
+
+Tie-break randomization: correct simulation code must not depend on *which*
+order same-timestamp events run in -- any such dependence is a latent race
+that insertion-order tie-breaking merely hides.  Constructing a simulator
+with ``tie_break="random"`` (or running scenarios under the
+:func:`forced_tie_break` context manager, which the race detector in
+:mod:`repro.analysis.races` uses) shuffles ties with a seeded stream while
+keeping each individual run fully deterministic.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Tuple
 
+from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
+
+#: Forced tie-break policy for newly constructed simulators, or ``None``.
+#: Set via :func:`forced_tie_break`; lets the race detector re-run scenario
+#: code that builds its own ``Simulator()`` internally.
+_FORCED_TIE_BREAK: Optional[Tuple[str, int]] = None
+
+
+@contextmanager
+def forced_tie_break(mode: str, seed: int = 0) -> Iterator[None]:
+    """Force every ``Simulator()`` constructed in the body to ``mode``.
+
+    ``mode`` is ``"fifo"`` (insertion order, the default) or ``"random"``
+    (seeded shuffle of same-timestamp ties).  Explicit constructor
+    arguments still win over the forced default.
+    """
+    global _FORCED_TIE_BREAK
+    previous = _FORCED_TIE_BREAK
+    _FORCED_TIE_BREAK = (mode, seed)
+    try:
+        yield
+    finally:
+        _FORCED_TIE_BREAK = previous
 
 
 class SimulationError(RuntimeError):
@@ -80,9 +112,33 @@ class Simulator:
     (1.5, ['hello'])
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tie_break: Optional[str] = None,
+        tie_break_seed: Optional[int] = None,
+    ) -> None:
+        if tie_break is None and _FORCED_TIE_BREAK is not None:
+            tie_break, forced_seed = _FORCED_TIE_BREAK
+            if tie_break_seed is None:
+                tie_break_seed = forced_seed
+        mode = tie_break or "fifo"
+        if mode not in ("fifo", "random"):
+            raise SimulationError(f"unknown tie_break mode: {mode!r}")
+        self.tie_break = mode
+        self.tie_break_seed = 0 if tie_break_seed is None else int(tie_break_seed)
+        if mode == "random":
+            # Imported here, not at module top: rng is a sibling leaf module
+            # but the fifo path must stay import-light.
+            from repro.sim.rng import RngRegistry
+
+            self._tie_rng = RngRegistry(self.tie_break_seed).stream("tie-break")
+        else:
+            self._tie_rng = None
         self.now: float = 0.0
-        self._heap: list = []  # entries: (time, seq, Timer)
+        # Heap entries: (time, key, Timer) where key is the seq (fifo) or a
+        # (random draw, seq) pair -- within one simulator the key type is
+        # homogeneous, so tuple comparison stays at the C level.
+        self._heap: list = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
@@ -106,7 +162,11 @@ class Simulator:
         timer = Timer(time, self._seq, callback, args)
         # Heap entries are plain tuples: C-level comparisons are several
         # times faster than calling Timer.__lt__ for every sift.
-        heapq.heappush(self._heap, (time, self._seq, timer))
+        if self._tie_rng is None:
+            key: Any = self._seq
+        else:
+            key = (self._tie_rng.random(), self._seq)
+        heapq.heappush(self._heap, (time, key, timer))
         return timer
 
     # ------------------------------------------------------------------
@@ -136,8 +196,12 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         # Bound once per run() call: a branch on a local is free in the
-        # hot loop, and toggling the sanitizer mid-run is not supported.
+        # hot loop, and toggling the sanitizer or event log mid-run is not
+        # supported.
         checks = _sanitize.CHECKS
+        log = _events.LOG
+        if log is not None and not log.capture_dispatch:
+            log = None
         try:
             while heap:
                 time, _, timer = heap[0]
@@ -151,6 +215,8 @@ class Simulator:
                 pop(heap)
                 if checks is not None:
                     checks.event_dispatch(self.now, time)
+                if log is not None:
+                    log.emit(_events.Dispatch(t=time, seq=timer.seq))
                 self.now = time
                 timer.cancelled = True  # consumed; cancel() after firing is a no-op
                 timer.callback(*timer.args)

@@ -3,32 +3,67 @@
 Used throughout the library to collect the traces the paper plots: CWND over
 time (Figs 11-12), send-buffer occupancy (Fig 3), player download progress
 (Fig 1).  Recording is append-only and can be disabled globally for large
-parameter sweeps where only summary statistics matter.
+parameter sweeps where only summary statistics matter, or capped per series
+(``max_samples_per_series``) for long check-mode runs where only the recent
+tail of each series is of interest.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 Sample = Tuple[float, float]
 
+_Bucket = Union[List[Sample], Deque[Sample]]
+
 
 class TraceRecorder:
-    """Collects ``(time, value)`` samples into named series."""
+    """Collects ``(time, value)`` samples into named series.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Parameters
+    ----------
+    enabled: when False, :meth:`record` is a no-op.
+    max_samples_per_series: optional bound per series; once a series is
+        full, each new sample evicts the oldest one, so memory stays
+        O(series x cap) on arbitrarily long runs.
+    """
+
+    def __init__(
+        self, enabled: bool = True, max_samples_per_series: Optional[int] = None
+    ) -> None:
+        if max_samples_per_series is not None and max_samples_per_series < 1:
+            raise ValueError(
+                f"max_samples_per_series must be >= 1, got {max_samples_per_series!r}"
+            )
         self.enabled = enabled
-        self._series: Dict[str, List[Sample]] = {}
+        self.max_samples_per_series = max_samples_per_series
+        self._series: Dict[str, _Bucket] = {}
+
+    def _bucket(self, series: str) -> _Bucket:
+        bucket = self._series.get(series)
+        if bucket is None:
+            if self.max_samples_per_series is None:
+                bucket = []
+            else:
+                bucket = deque(maxlen=self.max_samples_per_series)
+            self._series[series] = bucket
+        return bucket
 
     def record(self, series: str, time: float, value: float) -> None:
         """Append one sample; no-op when the recorder is disabled."""
         if not self.enabled:
             return
-        self._series.setdefault(series, []).append((time, value))
+        self._bucket(series).append((time, value))
 
     def series(self, name: str) -> List[Sample]:
         """Samples of one series (empty list if never recorded)."""
-        return self._series.get(name, [])
+        bucket = self._series.get(name)
+        if bucket is None:
+            return []
+        if isinstance(bucket, deque):
+            return list(bucket)
+        return bucket
 
     def names(self) -> List[str]:
         """Sorted names of all recorded series."""
@@ -62,12 +97,11 @@ class TraceRecorder:
     def merge(self, other: "TraceRecorder", prefix: str = "") -> None:
         """Copy all series from ``other`` into this recorder."""
         for name in other.names():
-            dest = self._series.setdefault(prefix + name, [])
-            dest.extend(other.series(name))
+            self._bucket(prefix + name).extend(other.series(name))
 
     def extend(self, series: str, samples: Iterable[Sample]) -> None:
         """Bulk-append pre-timestamped samples (bypasses ``enabled``)."""
-        self._series.setdefault(series, []).extend(samples)
+        self._bucket(series).extend(samples)
 
     def clear(self) -> None:
         """Drop all recorded series."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
+from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
 from repro.net.packet import ACK_SIZE, HEADER_SIZE, MSS, Packet
 from repro.net.path import Path
@@ -140,6 +141,7 @@ class Subflow:
         self.path = path
         self.cc = cc
         self.sf_id = sf_id
+        self.uid = _events.next_uid()
         self.mss = int(mss)
         self.initial_window = float(initial_window)
         self.idle_reset_enabled = idle_reset_enabled
@@ -251,12 +253,24 @@ class Subflow:
             # subflow therefore slow-starts back toward 3/4 of its decayed
             # window -- still costing several RTTs per object, which is the
             # recurring tax Section 3.2 identifies.
+            old_cwnd = self.cwnd
             if self.ssthresh == float("inf"):
                 self.ssthresh = 0.75 * self.cwnd
             else:
                 self.ssthresh = max(self.ssthresh, 0.75 * self.cwnd)
             self.cwnd = self.initial_window
             self.stats.idle_resets += 1
+            if _events.LOG is not None:
+                _events.LOG.emit(_events.IdleReset(
+                    t=self.sim.now,
+                    sf_uid=self.uid,
+                    sf_id=self.sf_id,
+                    idle=idle,
+                    rto=self.rtt.rto,
+                    old_cwnd=old_cwnd,
+                    new_cwnd=self.cwnd,
+                    ssthresh=self.ssthresh,
+                ))
 
     def _transmit(self, segment: Segment, retransmission: bool) -> None:
         now = self.sim.now
@@ -284,6 +298,18 @@ class Subflow:
         )
         if self.receiver_callback is None:
             raise RuntimeError("subflow.receiver_callback not wired")
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.SegmentSent(
+                t=now,
+                sf_uid=self.uid,
+                sf_id=self.sf_id,
+                seq=segment.seq,
+                dsn=segment.dsn,
+                payload=segment.payload,
+                retransmitted=segment.retransmitted,
+                cwnd=self.cwnd,
+                in_flight=self._in_flight,
+            ))
         self.path.forward.send(packet, self.receiver_callback)
         self._arm_rto()
 
@@ -337,6 +363,17 @@ class Subflow:
         self._arm_rto()
         if _sanitize.CHECKS is not None:
             _sanitize.CHECKS.subflow(self)
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.AckProcessed(
+                t=now,
+                sf_uid=self.uid,
+                sf_id=self.sf_id,
+                seq=segment.seq,
+                rtt_sampled=not segment.retransmitted,
+                cwnd=self.cwnd,
+                in_recovery=self._in_recovery,
+                backoff=self._rto_backoff,
+            ))
 
     def _advance_una(self) -> None:
         while self.una < self.next_seq:
@@ -377,6 +414,14 @@ class Subflow:
             self.stats.fast_retransmits += 1
             self.stats.bytes_since_loss = 0
             self.cc.on_loss(self)
+            if _events.LOG is not None:
+                _events.LOG.emit(_events.FastRetransmit(
+                    t=self.sim.now,
+                    sf_uid=self.uid,
+                    sf_id=self.sf_id,
+                    seq=segment.seq,
+                    recovery_point=self._recovery_point,
+                ))
 
     def _service_retransmissions(self) -> None:
         while self._retx_queue and self.has_window_space():
@@ -411,7 +456,18 @@ class Subflow:
             return
         self.stats.rto_events += 1
         self.stats.bytes_since_loss = 0
+        backoff_before = self._rto_backoff
         self._rto_backoff = min(MAX_BACKOFF, self._rto_backoff * 2.0)
+        if _events.LOG is not None:
+            _events.LOG.emit(_events.RtoFired(
+                t=self.sim.now,
+                sf_uid=self.uid,
+                sf_id=self.sf_id,
+                backoff_before=backoff_before,
+                backoff_after=self._rto_backoff,
+                rto=self.rtt.rto,
+                outstanding=len(self._outstanding),
+            ))
         self.cc.on_rto(self)
         self._in_recovery = True
         self._recovery_point = self.next_seq - 1

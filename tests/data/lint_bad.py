@@ -6,6 +6,7 @@ The filename intentionally does not start with ``test_`` so pytest never
 collects it.
 """
 
+import heapq  # RPR901: event-queue access outside repro.sim.engine
 import random
 import time
 from dataclasses import dataclass
@@ -38,3 +39,7 @@ class BrokenSpec:  # RPR401: spec dataclass not frozen
     kind: ClassVar[str] = "broken"
     sim: Optional["Simulator"] = None  # RPR402: live object field  # noqa: F821
     scheduler: str = "warpdrive"  # RPR501: unknown scheduler kind
+
+
+def sneak_event(sim, timer):
+    heapq.heappush(sim._heap, (0.0, 0, timer))  # RPR901: bypasses Simulator.schedule

@@ -148,6 +148,20 @@ class TestLintRules:
         assert codes_of(bad) == ["RPR501"]
         assert codes_of(bad.replace("warpdrive", "minrtt")) == []
 
+    def test_rpr901_heapq_import(self):
+        assert codes_of("import heapq\n") == ["RPR901"]
+        assert codes_of("from heapq import heappush\n") == ["RPR901"]
+
+    def test_rpr901_heap_attribute_access(self):
+        assert codes_of("sim._heap.append(entry)\n") == ["RPR901"]
+        assert codes_of("sim.schedule(0.5, callback)\n") == []
+
+    def test_rpr901_allowlisted_in_engine(self):
+        source = "import heapq\nheapq.heappush(self._heap, entry)\n"
+        assert lint_source(
+            source, path="src/repro/sim/engine.py", registries=TEST_REGISTRIES
+        ) == []
+
     def test_rpr501_case_insensitive(self):
         assert codes_of("s = make_scheduler('ECF')\n") == []
 
@@ -264,7 +278,7 @@ class TestSanitizer:
             drain(sim)
 
     def test_event_dispatch_violation(self, sanitized):
-        import heapq
+        import heapq  # repro: noqa[RPR901] -- deliberately corrupting the queue
 
         from repro.sim.engine import Timer
 
@@ -275,7 +289,7 @@ class TestSanitizer:
         # Hand-push a stale event behind the clock; schedule() itself
         # would legitimately refuse this, which is the point of the check.
         timer = Timer(0.5, 10_000, lambda: None, ())
-        heapq.heappush(sim._heap, (0.5, 10_000, timer))
+        heapq.heappush(sim._heap, (0.5, 10_000, timer))  # repro: noqa[RPR901]
         with pytest.raises(SanitizerError, match="non-decreasing event dispatch"):
             sim.run()
 

@@ -90,6 +90,71 @@ class TestManySubflows:
         assert sum(1 for v in sent.values() if v > 0) >= 2
 
 
+def ineq2_boundary_conn(sim, use_second_inequality=True):
+    """A connection parked where inequality 1 holds but inequality 2 fails.
+
+    fast: srtt 0.02s, sigma 0 (single sample); slow: srtt 0.04125s,
+    sigma ~= 0.00707s (samples 0.04, 0.05), so delta ~= 0.00707.  With
+    k = 1 segment and both cwnds at 10:
+
+    * inequality 1: n = 2, 2 * 0.02 = 0.04 < 0.04125 + 0.00707   (holds)
+    * inequality 2: 1 * 0.04125 < 2 * 0.02 + 0.00707             (fails)
+
+    Stock ECF therefore sends on the slow subflow; with the second
+    inequality ablated the first alone decides, and the scheduler waits.
+    """
+    conn = build_connection(sim, scheduler_name="ecf")
+    scheduler = EcfScheduler(use_second_inequality=use_second_inequality)
+    conn.scheduler = scheduler
+    scheduler.attach(conn)
+    fast, slow = conn.subflows
+    fast.rtt.add_sample(0.02)
+    slow.rtt.add_sample(0.04)
+    slow.rtt.add_sample(0.05)
+    fast.cwnd = slow.cwnd = 10.0
+    fast._in_flight = 10  # fastest full: the wait-or-send branch runs
+    conn.unassigned_bytes = conn.mss  # k = 1 segment
+    return conn
+
+
+class TestSecondInequalityAblation:
+    def test_stock_sends_on_slow_when_second_inequality_fails(self, sim):
+        conn = ineq2_boundary_conn(sim, use_second_inequality=True)
+        _, slow = conn.subflows
+        assert conn.scheduler.select(conn) is slow
+        assert conn.scheduler.send_on_slow_decisions == 1
+
+    def test_ablation_waits_on_first_inequality_alone(self, sim):
+        conn = ineq2_boundary_conn(sim, use_second_inequality=False)
+        assert conn.scheduler.select(conn) is None
+        assert conn.scheduler.waiting
+        assert conn.scheduler.wait_decisions == 1
+
+    def test_ablation_still_sends_on_slow_when_first_inequality_fails(self, sim):
+        conn = ineq2_boundary_conn(sim, use_second_inequality=False)
+        _, slow = conn.subflows
+        conn.unassigned_bytes = 2000 * conn.mss  # k huge: ineq 1 fails
+        assert conn.scheduler.select(conn) is slow
+        assert not conn.scheduler.waiting
+
+    def test_ineq2_forced_send_leaves_hysteresis_latched(self, sim):
+        # A send forced by inequality 2 must not clear the waiting state:
+        # only inequality 1 failing does (the beta hysteresis contract).
+        conn = ineq2_boundary_conn(sim, use_second_inequality=True)
+        _, slow = conn.subflows
+        conn.scheduler.waiting = True
+        assert conn.scheduler.select(conn) is slow
+        assert conn.scheduler.waiting
+
+    def test_ablated_transfer_completes(self, sim):
+        conn = ineq2_boundary_conn(sim, use_second_inequality=False)
+        conn.unassigned_bytes = 0
+        conn.subflows[0]._in_flight = 0
+        conn.write(1_000_000)
+        drain(sim)
+        assert conn.delivered_bytes == 1_000_000
+
+
 class TestUnitsAndEdges:
     def test_k_is_measured_in_bytes_and_scaled_by_mss(self, sim):
         """The inequality sees k in segments: one MSS-sized write is one

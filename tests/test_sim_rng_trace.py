@@ -112,3 +112,60 @@ class TestTraceRecorder:
         trace.record("x", 0.0, 0.0)
         trace.clear()
         assert trace.names() == []
+
+    def test_clear_then_record_again(self):
+        trace = TraceRecorder()
+        trace.record("x", 0.0, 1.0)
+        trace.clear()
+        assert "x" not in trace
+        trace.record("x", 5.0, 9.0)
+        assert trace.series("x") == [(5.0, 9.0)]
+
+
+class TestTraceRecorderSampleCap:
+    def test_cap_evicts_oldest(self):
+        trace = TraceRecorder(max_samples_per_series=3)
+        for t in range(5):
+            trace.record("x", float(t), float(t * 10))
+        assert trace.series("x") == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_cap_applies_per_series(self):
+        trace = TraceRecorder(max_samples_per_series=2)
+        for t in range(4):
+            trace.record("a", float(t), 0.0)
+        trace.record("b", 0.0, 1.0)
+        assert len(trace.series("a")) == 2
+        assert trace.series("b") == [(0.0, 1.0)]
+
+    def test_last_and_values_on_capped_series(self):
+        trace = TraceRecorder(max_samples_per_series=2)
+        for t in range(4):
+            trace.record("x", float(t), float(t))
+        assert trace.last("x") == (3.0, 3.0)
+        assert trace.values("x") == [2.0, 3.0]
+        assert trace.times("x") == [2.0, 3.0]
+
+    def test_extend_respects_cap(self):
+        trace = TraceRecorder(max_samples_per_series=2)
+        trace.extend("x", [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        assert trace.series("x") == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_merge_into_capped_recorder(self):
+        src = TraceRecorder()
+        for t in range(4):
+            src.record("x", float(t), float(t))
+        dst = TraceRecorder(max_samples_per_series=2)
+        dst.merge(src)
+        assert dst.series("x") == [(2.0, 2.0), (3.0, 3.0)]
+
+    def test_uncapped_series_unbounded(self):
+        trace = TraceRecorder()
+        for t in range(100):
+            trace.record("x", float(t), 0.0)
+        assert len(trace.series("x")) == 100
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_samples_per_series=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(max_samples_per_series=-3)
