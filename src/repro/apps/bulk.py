@@ -73,6 +73,10 @@ class BulkDownloadResult:
     payload_by_path: Dict[str, int]
     ooo_delays_max: float
     reinjections: int
+    #: Optional per-run perf record (``PerfRecord.to_dict()``), attached by
+    #: the executor when ``REPRO_PERF=1``.  Additive: absent from the wire
+    #: format when None, so cached v2 payloads stay valid.
+    perf: Optional[Dict[str, Any]] = None
 
     @property
     def throughput_bps(self) -> float:
@@ -81,7 +85,7 @@ class BulkDownloadResult:
         return self.size * 8.0 / self.completion_time
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema_version": 2,
             "kind": "bulk_download",
             "scheduler": self.scheduler,
@@ -91,6 +95,9 @@ class BulkDownloadResult:
             "ooo_delays_max": self.ooo_delays_max,
             "reinjections": self.reinjections,
         }
+        if self.perf is not None:
+            data["perf"] = dict(self.perf)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BulkDownloadResult":
@@ -101,6 +108,7 @@ class BulkDownloadResult:
             payload_by_path=dict(data["payload_by_path"]),
             ooo_delays_max=data["ooo_delays_max"],
             reinjections=data["reinjections"],
+            perf=data.get("perf"),
         )
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Deque, List, Optional
 
 from repro.mptcp.connection import MptcpConnection
@@ -107,7 +108,7 @@ class HttpSession:
         self._pending.append(pending)
         request = Packet(size=self.request_size)
         primary = self.conn.subflows[0].path
-        primary.reverse.send(request, lambda _pkt, s=size: self._server_on_request(s))
+        primary.reverse.send(request, partial(self._request_arrived, size))
         return index
 
     @property
@@ -119,6 +120,11 @@ class HttpSession:
     # Server side
     # ------------------------------------------------------------------
     def _server_on_request(self, size: int) -> None:
+        self.conn.write(size)
+
+    def _request_arrived(self, size: int, _packet: Packet) -> None:
+        """Link-delivery adapter: ``partial(self._request_arrived, size)``
+        replaces the per-GET closure the request path used to allocate."""
         self.conn.write(size)
 
     # ------------------------------------------------------------------

@@ -99,6 +99,14 @@ def _add_check_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_perf_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="attach a per-run perf record (counters + wall time) to every "
+        "result (REPRO_PERF=1; see repro.perf)",
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -294,6 +302,44 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.perf.bench import (
+        WORKLOADS,
+        compare,
+        current_rev,
+        report_to_dict,
+        run_workload,
+    )
+
+    names = args.workload or list(WORKLOADS)
+    records = {}
+    print(f"{'workload':<14}{'events':>9}{'sim s':>9}{'wall s':>9}{'events/s':>13}")
+    for name in names:
+        record = run_workload(name, scale=args.scale, repeat=args.repeat)
+        records[name] = record
+        print(
+            f"{name:<14}{record.events:>9d}{record.sim_s:>9.1f}"
+            f"{record.wall_s:>9.3f}{record.events_per_wall_s:>13,.0f}"
+        )
+    rev = current_rev()
+    report = report_to_dict(records, rev, args.scale)
+    output = Path(args.output) if args.output else Path(f"BENCH_{rev}.json")
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        complaints = compare(report, baseline, tolerance=args.tolerance)
+        if complaints:
+            for complaint in complaints:
+                print(f"REGRESSION {complaint}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_wild(args) -> int:
     runs = run_wild_streaming(
         runs=args.runs, video_duration=args.video,
@@ -325,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--video", type=float, default=120.0, help="video seconds")
     _add_executor_flags(p)
     _add_check_flag(p)
+    _add_perf_flag(p)
     p.set_defaults(func=cmd_streaming)
 
     p = sub.add_parser("web", help="full-page Web browsing")
@@ -347,6 +394,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sanitize_flag(p)
     _add_check_flag(p)
     p.set_defaults(func=cmd_wild)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned perf workload matrix and write BENCH_<rev>.json",
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload size multiplier (CI smoke uses a small value)",
+    )
+    p.add_argument(
+        "--workload", nargs="+", default=None, metavar="NAME",
+        choices=["bulk", "dash_onoff", "web", "four_subflow"],
+        help="run a subset of the matrix (default: all four)",
+    )
+    p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="where to write the report (default: BENCH_<rev>.json)",
+    )
+    p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare events/sec against this earlier report",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec drop vs baseline (default: 0.30)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run each workload N times, keep the fastest (default: 1)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "check",
@@ -423,6 +501,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Read by the executor around every run -- in-process and in pool
         # workers alike (the pool inherits the environment).
         os.environ[check.ENV_VAR] = "1"
+    if getattr(args, "perf", False):
+        import os
+
+        from repro.perf import counters as perf_counters
+
+        # Same propagation trick as --sanitize/--check: pool workers
+        # inherit the environment and attach a perf record per run.
+        os.environ[perf_counters.ENV_VAR] = "1"
     return args.func(args)
 
 

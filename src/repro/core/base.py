@@ -17,9 +17,11 @@ Contract:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis import events as _events
+from repro.perf import counters as _perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.mptcp.connection import MptcpConnection
@@ -36,6 +38,8 @@ class Scheduler:
         self.uid = _events.next_uid()
         self.decisions = 0
         self.waits = 0
+        if _perf.COLLECTOR is not None:
+            _perf.COLLECTOR.adopt_scheduler(self)
 
     def attach(self, conn: "MptcpConnection") -> None:
         """Bind this scheduler instance to its connection."""
@@ -61,10 +65,17 @@ class Scheduler:
 
     @staticmethod
     def fastest(subflows: List["Subflow"]) -> Optional["Subflow"]:
-        """Smallest-SRTT subflow (ties broken by subflow id)."""
-        if not subflows:
+        """Smallest-SRTT subflow (ties broken by subflow id).
+
+        Subflows whose RTT estimate is non-finite (a path in an outage
+        reports an ``inf`` transit estimate, and NaN would make ``min``
+        ordering-dependent) are excluded; if no subflow has a finite
+        estimate there is no meaningful "fastest" and None is returned.
+        """
+        usable = [sf for sf in subflows if math.isfinite(sf.srtt_or_default())]
+        if not usable:
             return None
-        return min(subflows, key=lambda sf: (sf.srtt_or_default(), sf.sf_id))
+        return min(usable, key=lambda sf: (sf.srtt_or_default(), sf.sf_id))
 
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         """Choose the subflow for the next segment (or None to wait)."""

@@ -193,7 +193,18 @@ class EcfScheduler(Scheduler):
         )
 
     def _evaluate(self, inputs: EcfInputs) -> bool:
-        """Algorithm 1's two inequalities, stateless.  True means wait."""
+        """Algorithm 1's two inequalities, stateless.  True means wait.
+
+        Non-finite RTT estimates (a path in an outage reports an ``inf``
+        transit estimate) are resolved before the inequalities: both
+        would otherwise mix ``inf`` into comparisons where a ``0 * inf``
+        can surface NaN and decide arbitrarily.  A dead fast path is not
+        worth waiting for; a dead slow path is not worth sending on.
+        """
+        if not math.isfinite(inputs.rtt_f):
+            return False
+        if not math.isfinite(inputs.rtt_s):
+            return True
         if inputs.n_rounds * inputs.rtt_f < inputs.threshold:
             if not self.use_second_inequality:
                 return True

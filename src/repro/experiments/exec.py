@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 from repro.analysis import check
 from repro.experiments.spec import (
     SCHEMA_VERSION,
+    attach_perf,
     canonical_json,
     result_from_dict,
     run_spec,
@@ -61,6 +62,7 @@ from repro.experiments.spec import (
     spec_hash,
     spec_to_dict,
 )
+from repro.perf import counters as perf_counters
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -155,14 +157,24 @@ def _execute_payload(payload: Dict[str, Any], timeout_s: Optional[float]) -> Dic
     """
     spec = spec_from_dict(payload)
     label = f"{payload['kind']} {spec_hash(spec)[:12]}"
-    with _wall_clock_limit(timeout_s, label):
+
+    def invoke(target_spec: Any) -> Any:
         if check.check_enabled():
             # REPRO_CHECK: record a structured event log around the run
             # and verify the temporal property catalog over it.  A
             # CheckError propagates like any other worker failure.
-            result, _report = check.run_with_checks(run_spec, spec)
+            result, _report = check.run_with_checks(run_spec, target_spec)
+            return result
+        return run_spec(target_spec)
+
+    with _wall_clock_limit(timeout_s, label):
+        if perf_counters.perf_enabled():
+            # REPRO_PERF: collect deterministic counters + wall time for
+            # this run and ship them on the result's optional perf field.
+            result, record = perf_counters.measure(invoke, spec)
+            attach_perf(result, record.to_dict())
         else:
-            result = run_spec(spec)
+            result = invoke(spec)
     return result.to_dict()
 
 
@@ -315,13 +327,19 @@ class ExperimentExecutor:
             spec = specs[index]
             results[index] = result_from_dict(spec.kind, result_dict)
             if self.cache is not None:
+                # The perf record carries wall-clock time from *this* run;
+                # caching it would make the entry non-deterministic (and
+                # replay a stale measurement on every later hit).
+                cached_result = {
+                    key: value for key, value in result_dict.items() if key != "perf"
+                }
                 self.cache.put(
                     hashes[index],
                     {
                         "schema_version": SCHEMA_VERSION,
                         "kind": spec.kind,
                         "spec": spec.to_dict(),
-                        "result": result_dict,
+                        "result": cached_result,
                     },
                 )
             self.stats.executed += 1

@@ -176,6 +176,10 @@ class StreamingRunResult:
     last_packet_gaps: List[float]
     reinjections: int
     trace: Optional[TraceRecorder]
+    #: Optional per-run perf record (``PerfRecord.to_dict()``), attached by
+    #: the executor when ``REPRO_PERF=1``; absent from the wire format when
+    #: None so cached v2 payloads stay valid.
+    perf: Optional[Dict[str, Any]] = None
 
     @property
     def average_bitrate_bps(self) -> float:

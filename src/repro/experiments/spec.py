@@ -125,6 +125,21 @@ def result_from_dict(kind: str, data: Mapping[str, Any]) -> Any:
     return experiment_kind(kind).result_from_dict(data)
 
 
+def attach_perf(result: RunResult, perf: Dict[str, Any]) -> None:
+    """Attach a per-run perf record to a result's optional ``perf`` field.
+
+    Every registered result type carries ``perf`` as an additive optional
+    field (absent from the wire format when None).  Results may be frozen
+    dataclasses, so the write goes through ``object.__setattr__``.
+    """
+    if not hasattr(result, "perf"):
+        raise TypeError(
+            f"{type(result).__name__} has no 'perf' field; results must "
+            "declare one to carry perf records"
+        )
+    object.__setattr__(result, "perf", perf)
+
+
 def canonical_json(data: Any) -> str:
     """Deterministic JSON used for hashing and byte-comparable storage."""
     return json.dumps(data, sort_keys=True, separators=(",", ":"))

@@ -73,7 +73,7 @@ def streaming_result_to_dict(result: "StreamingRunResult") -> Dict:
     :func:`streaming_result_from_dict` inverts it exactly.
     """
     metrics = result.metrics
-    return {
+    data = {
         "schema_version": STREAMING_RESULT_SCHEMA_VERSION,
         "kind": "streaming",
         "spec": result.config.to_dict(),
@@ -119,6 +119,11 @@ def streaming_result_to_dict(result: "StreamingRunResult") -> Dict:
                   for name in result.trace.names()}
         ),
     }
+    # Additive field: emitted only when a perf record was attached, so
+    # payloads (and cached digests) without one are byte-identical to v2.
+    if result.perf is not None:
+        data["perf"] = dict(result.perf)
+    return data
 
 
 def streaming_result_from_dict(data: Dict) -> "StreamingRunResult":
@@ -175,6 +180,7 @@ def streaming_result_from_dict(data: Dict) -> "StreamingRunResult":
         last_packet_gaps=list(data["last_packet_gaps"]),
         reinjections=data["reinjections"],
         trace=trace,
+        perf=data.get("perf"),
     )
 
 

@@ -18,12 +18,14 @@ regulator being reconfigured.
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro.analysis import sanitize as _sanitize
 from repro.net.packet import Packet
+from repro.perf import counters as _perf
 from repro.sim.engine import Simulator, Timer
 
 
@@ -110,8 +112,8 @@ class Link:
         name: str = "link",
         jitter: float = 0.0,
     ) -> None:
-        if rate_bps <= 0:
-            raise ValueError(f"rate_bps must be positive, got {rate_bps!r}")
+        if not math.isfinite(rate_bps) or rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive and finite, got {rate_bps!r}")
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay!r}")
         if queue_bytes <= 0:
@@ -139,6 +141,12 @@ class Link:
         self._tx_timer: Optional[Timer] = None
         #: Packets serialized but still in propagation (conservation audit).
         self._in_propagation = 0
+        # Bound methods are allocated once here, not once per packet in the
+        # serialization loop.
+        self._finish_cb = self._finish_transmission
+        self._deliver_cb = self._deliver
+        if _perf.COLLECTOR is not None:
+            _perf.COLLECTOR.adopt_link(self)
 
     # ------------------------------------------------------------------
     # Sending
@@ -178,9 +186,7 @@ class Link:
         self._busy = True
         tx_time = packet.size * 8.0 / self.rate_bps
         self.stats.busy_time += tx_time
-        self._tx_timer = self.sim.schedule(
-            tx_time, self._finish_transmission, packet, on_delivery
-        )
+        self._tx_timer = self.sim.schedule(tx_time, self._finish_cb, packet, on_delivery)
 
     def _finish_transmission(
         self, packet: Packet, on_delivery: Callable[[Packet], None]
@@ -195,7 +201,7 @@ class Link:
             self._notify_drop(packet)
         else:
             self._in_propagation += 1
-            self.sim.schedule(delay, self._deliver, packet, on_delivery)
+            self.sim.schedule(delay, self._deliver_cb, packet, on_delivery)
         if self._queue:
             next_packet, next_cb = self._queue.popleft()
             self._queued_bytes -= next_packet.size
@@ -219,9 +225,13 @@ class Link:
     # Runtime control / introspection
     # ------------------------------------------------------------------
     def set_rate(self, rate_bps: float) -> None:
-        """Change the regulated rate; applies to subsequent transmissions."""
-        if rate_bps <= 0:
-            raise ValueError(f"rate_bps must be positive, got {rate_bps!r}")
+        """Change the regulated rate; applies to subsequent transmissions.
+
+        NaN slips past a plain ``<= 0`` check and silently poisons every
+        subsequent serialization time, so the rate must be finite too.
+        """
+        if not math.isfinite(rate_bps) or rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive and finite, got {rate_bps!r}")
         self.rate_bps = float(rate_bps)
 
     def set_down(self, down: bool = True) -> None:
@@ -255,7 +265,15 @@ class Link:
         return self._busy
 
     def transit_estimate(self, size: int) -> float:
-        """Estimated time for ``size`` bytes to cross an empty link."""
+        """Estimated time for ``size`` bytes to cross an empty link.
+
+        A link in an outage can deliver nothing, so the estimate is
+        ``math.inf`` rather than the finite value the rate alone would
+        suggest -- schedulers treat an infinite estimate as "path
+        unusable" instead of planning traffic onto a dead interface.
+        """
+        if self._down:
+            return math.inf
         return size * 8.0 / self.rate_bps + self.delay
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -90,6 +90,62 @@ class Packet:
         self.retransmitted = retransmitted
         self.recv_window = recv_window
 
+    @classmethod
+    def data_segment(
+        cls,
+        size: int,
+        payload: int,
+        subflow_id: int,
+        seq: int,
+        dsn: int,
+        sent_time: float,
+        retransmitted: bool,
+    ) -> "Packet":
+        """Build a data segment without keyword/validation overhead.
+
+        The subflow transmit path constructs one packet per segment; it
+        computes ``size`` from ``payload`` itself, so re-validating the
+        pair here would only burn cycles on an invariant the caller
+        already holds.
+        """
+        pkt = object.__new__(cls)
+        pkt.size = size
+        pkt.payload = payload
+        pkt.subflow_id = subflow_id
+        pkt.seq = seq
+        pkt.dsn = dsn
+        pkt.is_ack = False
+        pkt.ack_seq = -1
+        pkt.data_ack = -1
+        pkt.sent_time = sent_time
+        pkt.retransmitted = retransmitted
+        pkt.recv_window = None
+        return pkt
+
+    @classmethod
+    def pure_ack(
+        cls,
+        subflow_id: int,
+        ack_seq: int,
+        data_ack: int,
+        sent_time: float,
+        recv_window: Optional[int],
+    ) -> "Packet":
+        """Build a pure ACK (fixed ``ACK_SIZE`` wire size, no payload)."""
+        pkt = object.__new__(cls)
+        pkt.size = ACK_SIZE
+        pkt.payload = 0
+        pkt.subflow_id = subflow_id
+        pkt.seq = -1
+        pkt.dsn = -1
+        pkt.is_ack = True
+        pkt.ack_seq = ack_seq
+        pkt.data_ack = data_ack
+        pkt.sent_time = sent_time
+        pkt.retransmitted = False
+        pkt.recv_window = recv_window
+        return pkt
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_ack:
             return (

@@ -1,0 +1,35 @@
+"""Hot-path performance layer: deterministic counters and the bench matrix.
+
+:mod:`repro.perf.counters` aggregates per-run event/packet/decision
+counters at zero hot-path cost; :mod:`repro.perf.bench` runs the pinned
+workload matrix behind ``python -m repro.cli bench`` and emits the
+machine-readable ``BENCH_<rev>.json`` perf trajectory.
+
+Only the counter layer is imported eagerly -- the bench harness pulls in
+every workload module, and protocol layers importing ``repro.perf``
+must stay cycle-free.
+"""
+
+from repro.perf.counters import (
+    ENV_VAR,
+    PerfCollector,
+    PerfRecord,
+    PerfSnapshot,
+    collecting,
+    measure,
+    perf_enabled,
+)
+
+# NOTE: the live ``COLLECTOR`` global is deliberately not re-exported --
+# a ``from repro.perf import COLLECTOR`` would freeze the binding at
+# import time.  Read it as ``counters.COLLECTOR`` (hook sites do).
+
+__all__ = [
+    "ENV_VAR",
+    "PerfCollector",
+    "PerfRecord",
+    "PerfSnapshot",
+    "collecting",
+    "measure",
+    "perf_enabled",
+]

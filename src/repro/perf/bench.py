@@ -1,0 +1,176 @@
+"""The pinned bench matrix: the repo's perf trajectory.
+
+``python -m repro.cli bench`` runs four fixed workloads -- bulk transfer,
+DASH on-off streaming, Web-object retrieval, and a 4-subflow streaming
+session -- under :func:`repro.perf.counters.measure` and writes
+``BENCH_<rev>.json``.  The counters in each record are deterministic
+(same spec, same counts -- tested); only ``wall_s`` and the derived
+``events_per_wall_s`` vary with the host, which is exactly the quantity
+the trajectory tracks across revisions.
+
+The matrix is *pinned*: workload shapes never change, only the ``scale``
+knob (CI smoke runs a small scale, local profiling a large one), so
+events/sec numbers are comparable within a scale.  :func:`compare`
+implements the CI regression gate against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.perf.counters import PerfRecord, measure
+
+#: Version of the BENCH_*.json layout.
+BENCH_SCHEMA_VERSION = 1
+
+#: Workload names in matrix order.
+WORKLOADS = ("bulk", "dash_onoff", "web", "four_subflow")
+
+
+def _bulk_spec(scale: float) -> Tuple[Callable[[Any], Any], Any]:
+    from repro.apps.bulk import BulkDownloadSpec, run_bulk
+    from repro.net.profiles import lte_config, wifi_config
+
+    return run_bulk, BulkDownloadSpec(
+        scheduler="ecf",
+        path_configs=(wifi_config(8.6), lte_config(8.6)),
+        size=max(64_000, int(4_000_000 * scale)),
+        seed=1,
+    )
+
+
+def _dash_spec(scale: float) -> Tuple[Callable[[Any], Any], Any]:
+    from repro.experiments.runner import StreamingRunConfig, run_streaming
+
+    return run_streaming, StreamingRunConfig(
+        scheduler="ecf",
+        wifi_mbps=4.2,
+        lte_mbps=8.6,
+        video_duration=max(10.0, 60.0 * scale),
+        seed=1,
+    )
+
+
+def _web_spec(scale: float) -> Tuple[Callable[[Any], Any], Any]:
+    from repro.net.profiles import lte_config, wifi_config
+    from repro.workloads.web import WebBrowsingSpec, cnn_like_page, run_web
+
+    sizes = cnn_like_page().object_sizes
+    count = max(6, int(len(sizes) * scale))
+    return run_web, WebBrowsingSpec(
+        scheduler="ecf",
+        path_configs=(wifi_config(8.6), lte_config(8.6)),
+        seed=1,
+        object_sizes=sizes[:count],
+    )
+
+
+def _four_subflow_spec(scale: float) -> Tuple[Callable[[Any], Any], Any]:
+    from repro.experiments.runner import StreamingRunConfig, run_streaming
+
+    return run_streaming, StreamingRunConfig(
+        scheduler="ecf",
+        wifi_mbps=4.2,
+        lte_mbps=8.6,
+        video_duration=max(10.0, 45.0 * scale),
+        seed=1,
+        subflows_per_interface=2,
+    )
+
+
+_MATRIX: Dict[str, Callable[[float], Tuple[Callable[[Any], Any], Any]]] = {
+    "bulk": _bulk_spec,
+    "dash_onoff": _dash_spec,
+    "web": _web_spec,
+    "four_subflow": _four_subflow_spec,
+}
+
+
+def run_workload(name: str, scale: float = 1.0, repeat: int = 1) -> PerfRecord:
+    """Run one matrix workload under perf collection.
+
+    With ``repeat > 1`` the workload runs that many times and the record
+    with the smallest wall time is kept (counters are deterministic, so
+    only the wall clock differs between repeats; the minimum is the
+    standard noise-resistant estimator for a fixed workload).
+    """
+    if name not in _MATRIX:
+        raise ValueError(f"unknown workload {name!r}; choose from {WORKLOADS}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale!r}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat!r}")
+    best: Optional[PerfRecord] = None
+    for _ in range(repeat):
+        runner, spec = _MATRIX[name](scale)
+        _result, record = measure(runner, spec)
+        if best is None or record.wall_s < best.wall_s:
+            best = record
+    assert best is not None
+    return best
+
+
+def run_bench(
+    scale: float = 1.0, workloads: Optional[List[str]] = None, repeat: int = 1
+) -> Dict[str, PerfRecord]:
+    """Run the matrix (or a subset); returns records keyed by workload."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    return {name: run_workload(name, scale, repeat=repeat) for name in names}
+
+
+def current_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def report_to_dict(
+    records: Dict[str, PerfRecord], rev: str, scale: float
+) -> Dict[str, Any]:
+    """The ``BENCH_<rev>.json`` payload."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "rev": rev,
+        "scale": scale,
+        "workloads": {name: record.to_dict() for name, record in records.items()},
+    }
+
+
+def compare(
+    report: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.30
+) -> List[str]:
+    """Regression gate: events/sec drops beyond ``tolerance`` vs baseline.
+
+    Only workloads present in both reports are compared (the gate must
+    not fail because a baseline predates a new matrix entry).  Returns
+    human-readable complaints, empty when everything is within bounds.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    complaints: List[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, record in report.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        old = base.get("events_per_wall_s", 0.0)
+        new = record.get("events_per_wall_s", 0.0)
+        if old <= 0:
+            continue
+        floor = old * (1.0 - tolerance)
+        if new < floor:
+            complaints.append(
+                f"{name}: {new:,.0f} events/s is below the regression floor "
+                f"{floor:,.0f} (baseline {old:,.0f}, tolerance {tolerance:.0%})"
+            )
+    return complaints

@@ -26,6 +26,16 @@ from typing import Any, Callable, Iterator, Optional, Tuple
 
 from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
+from repro.perf import counters as _perf
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Heap compaction trigger: rebuild once at least this many cancelled
+#: entries sit in the heap *and* they outnumber the live ones.  The floor
+#: keeps tiny simulations from compacting pointlessly; the fraction bound
+#: keeps the amortized cost O(1) per cancellation.
+_COMPACT_MIN_CANCELLED = 256
 
 #: Forced tie-break policy for newly constructed simulators, or ``None``.
 #: Set via :func:`forced_tie_break`; lets the race detector re-run scenario
@@ -58,29 +68,48 @@ class Timer:
     """Handle for a scheduled event.
 
     A ``Timer`` can be cancelled before it fires; cancellation is O(1) --
-    the entry stays in the heap but is skipped when popped.
+    the entry stays in the heap but is skipped when popped.  The owning
+    simulator counts cancellations and compacts the heap once dead
+    entries dominate it, so a workload that cancels aggressively does not
+    drag a mostly-dead heap through every sift.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable, args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable,
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the timer from firing.  Safe to call more than once."""
+        """Prevent the timer from firing.  Safe to call more than once,
+        and a no-op on a timer that has already fired (firing consumes
+        the timer)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled timers sitting in the heap do not
         # keep large object graphs (packets, connections) alive.
         self.callback = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancellation()
 
     @property
     def active(self) -> bool:
-        """True while the timer is scheduled and not cancelled."""
+        """True while the timer is scheduled: not cancelled and not yet
+        fired (a fired timer is consumed and reports inactive)."""
         return not self.cancelled
 
     def __lt__(self, other: "Timer") -> bool:
@@ -108,6 +137,7 @@ class Simulator:
     >>> fired = []
     >>> _ = sim.schedule(1.5, fired.append, "hello")
     >>> sim.run()
+    1
     >>> (sim.now, fired)
     (1.5, ['hello'])
     """
@@ -142,15 +172,39 @@ class Simulator:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
+        # Perf accounting (always-on: plain int bumps, read by repro.perf).
+        self._cancelled_in_heap: int = 0
+        self._timers_cancelled: int = 0
+        self._stale_pops: int = 0
+        self._compactions: int = 0
+        if _perf.COLLECTOR is not None:
+            _perf.COLLECTOR.adopt_sim(self)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable, *args: Any) -> Timer:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        This is the per-packet path (links and subflows live here), so the
+        ``schedule_at`` body is inlined rather than delegated: one call
+        frame per packet, not two.  A non-negative delay from ``now`` can
+        never land in the past, so only the delay needs validating.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        return self.schedule_at(self.now + delay, callback, *args)
+        seq = self._seq + 1
+        self._seq = seq
+        time = self.now + delay
+        timer = Timer(time, seq, callback, args, self)
+        # Heap entries are plain tuples: C-level comparisons are several
+        # times faster than calling Timer.__lt__ for every sift.
+        if self._tie_rng is None:
+            key: Any = seq
+        else:
+            key = (self._tie_rng.random(), seq)
+        _heappush(self._heap, (time, key, timer))
+        return timer
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
@@ -158,16 +212,37 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: t={time!r} < now={self.now!r}"
             )
-        self._seq += 1
-        timer = Timer(time, self._seq, callback, args)
-        # Heap entries are plain tuples: C-level comparisons are several
-        # times faster than calling Timer.__lt__ for every sift.
+        seq = self._seq + 1
+        self._seq = seq
+        timer = Timer(time, seq, callback, args, self)
         if self._tie_rng is None:
-            key: Any = self._seq
+            key: Any = seq
         else:
-            key = (self._tie_rng.random(), self._seq)
-        heapq.heappush(self._heap, (time, key, timer))
+            key = (self._tie_rng.random(), seq)
+        _heappush(self._heap, (time, key, timer))
         return timer
+
+    # ------------------------------------------------------------------
+    # Cancelled-entry bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancellation(self) -> None:
+        """Called by :meth:`Timer.cancel`; compacts when dead entries win.
+
+        Compaction rewrites the heap *in place* (slice assignment), so a
+        ``run()`` loop holding a local alias to the heap list keeps seeing
+        the live structure even when a callback cancels mid-run.
+        """
+        self._timers_cancelled += 1
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 >= len(heap)
+        ):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -194,7 +269,7 @@ class Simulator:
         self._running = True
         executed = 0
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         # Bound once per run() call: a branch on a local is free in the
         # hot loop, and toggling the sanitizer or event log mid-run is not
         # supported.
@@ -202,28 +277,57 @@ class Simulator:
         log = _events.LOG
         if log is not None and not log.capture_dispatch:
             log = None
+        # Normalized stop conditions: one float compare and one int
+        # compare per event instead of two None tests.  Counting up by one
+        # from zero makes ``executed == budget`` equivalent to the
+        # ``executed >= max_events`` it replaces.
+        limit = float("inf") if until is None else until
+        budget = -1 if max_events is None else max_events
         try:
-            while heap:
-                time, _, timer = heap[0]
-                if timer.cancelled:
+            if checks is None and log is None:
+                # Fast path: the common (hooks-off) per-packet loop.  Kept
+                # branch-identical to the instrumented loop below -- any
+                # semantic edit must be applied to both.
+                while heap:
+                    entry = heap[0]
+                    timer = entry[2]
+                    if timer.cancelled:
+                        pop(heap)
+                        self._stale_pops += 1
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = entry[0]
+                    if time > limit or executed == budget:
+                        break
                     pop(heap)
-                    continue
-                if until is not None and time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                pop(heap)
-                if checks is not None:
-                    checks.event_dispatch(self.now, time)
-                if log is not None:
-                    log.emit(_events.Dispatch(t=time, seq=timer.seq))
-                self.now = time
-                timer.cancelled = True  # consumed; cancel() after firing is a no-op
-                timer.callback(*timer.args)
-                executed += 1
-                self._events_processed += 1
+                    self.now = time
+                    timer.cancelled = True  # consumed; cancel() after firing is a no-op
+                    timer.callback(*timer.args)
+                    executed += 1
+            else:
+                while heap:
+                    entry = heap[0]
+                    timer = entry[2]
+                    if timer.cancelled:
+                        pop(heap)
+                        self._stale_pops += 1
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = entry[0]
+                    if time > limit or executed == budget:
+                        break
+                    pop(heap)
+                    if checks is not None:
+                        checks.event_dispatch(self.now, time)
+                    if log is not None:
+                        log.emit(_events.Dispatch(t=time, seq=timer.seq))
+                    self.now = time
+                    timer.cancelled = True  # consumed; cancel() after firing is a no-op
+                    timer.callback(*timer.args)
+                    executed += 1
         finally:
             self._running = False
+            self._events_processed += executed
         if until is not None and self.now < until:
             self.now = until
         return executed
@@ -245,10 +349,39 @@ class Simulator:
         """Total events executed over the simulator's lifetime."""
         return self._events_processed
 
+    @property
+    def timers_scheduled(self) -> int:
+        """Total timers ever pushed onto this simulator's heap."""
+        return self._seq
+
+    @property
+    def timers_cancelled(self) -> int:
+        """Live timers cancelled before firing (fired-then-cancelled
+        no-ops are not counted)."""
+        return self._timers_cancelled
+
+    @property
+    def stale_pops(self) -> int:
+        """Cancelled heap entries popped and skipped by the event loop --
+        the dead weight the heap dragged through sifts before shedding it."""
+        return self._stale_pops
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was rebuilt to evict cancelled entries."""
+        return self._compactions
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries currently sitting in the heap."""
+        return self._cancelled_in_heap
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._stale_pops += 1
+            self._cancelled_in_heap -= 1
         return self._heap[0][0] if self._heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -37,7 +37,7 @@ class RttEstimator:
     >>> round(est.srtt, 3)
     0.1
     >>> est.add_sample(0.1)
-    >>> est.rto >= MIN_RTO
+    >>> est.rto >= est.srtt + MIN_RTO_VAR
     True
     """
 

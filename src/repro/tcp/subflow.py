@@ -274,27 +274,28 @@ class Subflow:
 
     def _transmit(self, segment: Segment, retransmission: bool) -> None:
         now = self.sim.now
+        stats = self.stats
         if retransmission:
             segment.retransmitted = True
             segment.lost = False
-            self.stats.segments_retransmitted += 1
+            stats.segments_retransmitted += 1
         else:
-            self.stats.payload_bytes_sent += segment.payload
+            stats.payload_bytes_sent += segment.payload
         segment.sent_time = now
         segment.in_flight = True
         self._in_flight += 1
         self._last_send_time = now
-        self.stats.segments_sent += 1
-        self.stats.bytes_sent += segment.payload + HEADER_SIZE
-        self.stats.last_data_sent_at = now
-        packet = Packet(
-            size=segment.payload + HEADER_SIZE,
-            payload=segment.payload,
-            subflow_id=self.sf_id,
-            seq=segment.seq,
-            dsn=segment.dsn,
-            sent_time=now,
-            retransmitted=segment.retransmitted,
+        stats.segments_sent += 1
+        stats.bytes_sent += segment.payload + HEADER_SIZE
+        stats.last_data_sent_at = now
+        packet = Packet.data_segment(
+            segment.payload + HEADER_SIZE,
+            segment.payload,
+            self.sf_id,
+            segment.seq,
+            segment.dsn,
+            now,
+            segment.retransmitted,
         )
         if self.receiver_callback is None:
             raise RuntimeError("subflow.receiver_callback not wired")
@@ -315,14 +316,7 @@ class Subflow:
 
     def send_ack(self, ack_seq: int, data_ack: int, recv_window: int) -> None:
         """Receiver-side helper: emit a pure ACK back to the sender."""
-        ack = Packet(
-            size=ACK_SIZE,
-            is_ack=True,
-            subflow_id=self.sf_id,
-            ack_seq=ack_seq,
-            data_ack=data_ack,
-            recv_window=recv_window,
-        )
+        ack = Packet.pure_ack(self.sf_id, ack_seq, data_ack, 0.0, recv_window)
         self.path.reverse.send(ack, self.handle_ack)
 
     # ------------------------------------------------------------------

@@ -133,6 +133,10 @@ class WebBrowsingResult:
     total_objects: int = 0
     iw_resets: int = 0
     reinjections: int = 0
+    #: Optional per-run perf record (``PerfRecord.to_dict()``), attached by
+    #: the executor when ``REPRO_PERF=1``; absent from the wire format when
+    #: None so cached v2 payloads stay valid.
+    perf: Optional[Dict[str, Any]] = None
 
     @property
     def complete(self) -> bool:
@@ -145,7 +149,7 @@ class WebBrowsingResult:
         return sum(self.object_completion_times) / len(self.object_completion_times)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "schema_version": 2,
             "kind": "web_browsing",
             "scheduler": self.scheduler,
@@ -157,6 +161,9 @@ class WebBrowsingResult:
             "iw_resets": self.iw_resets,
             "reinjections": self.reinjections,
         }
+        if self.perf is not None:
+            data["perf"] = dict(self.perf)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WebBrowsingResult":
@@ -169,6 +176,7 @@ class WebBrowsingResult:
             total_objects=data["total_objects"],
             iw_resets=data["iw_resets"],
             reinjections=data["reinjections"],
+            perf=data.get("perf"),
         )
 
 

@@ -1,5 +1,6 @@
 """Tests for the link model: serialization, queueing, drops, loss."""
 
+import math
 import random
 
 import pytest
@@ -32,6 +33,23 @@ class TestValidation:
     def test_loss_requires_rng(self, sim):
         with pytest.raises(ValueError):
             make_link(sim, loss_rate=0.1)
+
+    @pytest.mark.parametrize("rate", [0, -1.0, math.inf, math.nan])
+    def test_constructor_rejects_bad_rates(self, sim, rate):
+        with pytest.raises(ValueError):
+            make_link(sim, rate_bps=rate)
+
+    @pytest.mark.parametrize("rate", [0, -5e6, math.inf, math.nan])
+    def test_set_rate_rejects_bad_rates(self, sim, rate):
+        link = make_link(sim)
+        with pytest.raises(ValueError):
+            link.set_rate(rate)
+        assert link.rate_bps == 1e6  # unchanged after the rejected update
+
+    def test_set_rate_accepts_finite_positive(self, sim):
+        link = make_link(sim)
+        link.set_rate(2.5e6)
+        assert link.rate_bps == 2.5e6
 
 
 class TestTiming:
@@ -72,6 +90,17 @@ class TestTiming:
 
     def test_transit_estimate(self, sim):
         link = make_link(sim, rate_bps=1e6, delay=0.05)
+        assert link.transit_estimate(1250) == pytest.approx(0.06)
+
+    def test_transit_estimate_infinite_while_down(self, sim):
+        link = make_link(sim)
+        link.set_down()
+        assert link.transit_estimate(1250) == math.inf
+
+    def test_transit_estimate_restored_after_outage(self, sim):
+        link = make_link(sim, rate_bps=1e6, delay=0.05)
+        link.set_down()
+        link.set_down(False)
         assert link.transit_estimate(1250) == pytest.approx(0.06)
 
 

@@ -81,6 +81,64 @@ class TestSchedulerContract:
             conn.scheduler.attach(build_connection(sim))
 
 
+class TestNonFiniteEstimates:
+    """Outage paths report inf transit estimates; schedulers must not
+    plan traffic onto them or let inf/NaN poison comparisons."""
+
+    def test_fastest_skips_nonfinite_srtt(self, sim):
+        from repro.core.base import Scheduler
+
+        conn, fast_sf, slow_sf = prepared_conn(sim)
+        fast_sf.rtt = type(fast_sf.rtt)()  # no samples
+        fast_sf._default_rtt = float("inf")
+        assert Scheduler.fastest(list(conn.subflows)) is slow_sf
+
+    def test_fastest_none_when_all_nonfinite(self, sim):
+        from repro.core.base import Scheduler
+
+        conn, fast_sf, slow_sf = prepared_conn(sim)
+        for sf in conn.subflows:
+            sf.rtt = type(sf.rtt)()
+            sf._default_rtt = float("nan")
+        assert Scheduler.fastest(list(conn.subflows)) is None
+
+    def test_minrtt_avoids_path_with_infinite_estimate(self, sim):
+        conn, fast_sf, slow_sf = prepared_conn(sim)
+        fast_sf.rtt = type(fast_sf.rtt)()
+        fast_sf._default_rtt = float("inf")
+        conn.unassigned_bytes = 10 * conn.mss
+        assert conn.scheduler.select(conn) is slow_sf
+
+    def test_ecf_sends_on_slow_when_fast_rtt_infinite(self):
+        from repro.core.ecf import EcfInputs
+
+        scheduler = EcfScheduler()
+        inputs = EcfInputs(
+            k_segments=4.0, rtt_f=float("inf"), rtt_s=0.1,
+            cwnd_f=10.0, cwnd_s=10.0, delta=0.0, n_rounds=2.0, threshold=0.1,
+        )
+        assert scheduler._evaluate(inputs) is False
+
+    def test_ecf_waits_when_slow_rtt_infinite(self):
+        from repro.core.ecf import EcfInputs
+
+        scheduler = EcfScheduler()
+        inputs = EcfInputs(
+            k_segments=4.0, rtt_f=0.01, rtt_s=float("inf"),
+            cwnd_f=10.0, cwnd_s=10.0, delta=0.0, n_rounds=2.0,
+            threshold=float("inf"),
+        )
+        assert scheduler._evaluate(inputs) is True
+
+    def test_ecf_select_survives_outage_estimates(self, sim):
+        conn, fast_sf, slow_sf = prepared_conn(sim, scheduler_name="ecf")
+        for sf in conn.subflows:
+            sf.rtt = type(sf.rtt)()
+            sf._default_rtt = float("inf")
+        conn.unassigned_bytes = 10 * conn.mss
+        assert conn.scheduler.select(conn) is None
+
+
 class TestMinRtt:
     def test_prefers_lowest_rtt(self, sim):
         conn, fast_sf, slow_sf = prepared_conn(sim)

@@ -165,3 +165,103 @@ class TestTimers:
         timer = sim.schedule(1.0, lambda x: None, big)
         timer.cancel()
         assert timer.args == ()
+
+    def test_active_false_after_firing(self, sim):
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not timer.active
+
+    def test_cancel_after_firing_does_not_count_as_cancellation(self, sim):
+        """A fired timer is spent; a late cancel() must not touch the
+        cancellation counters (it would make the heap bookkeeping drift)."""
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        timer.cancel()
+        timer.cancel()
+        assert sim.timers_cancelled == 0
+        assert sim.cancelled_pending == 0
+
+    def test_active_false_while_callback_runs(self, sim):
+        seen = []
+        timer = sim.schedule(1.0, lambda: seen.append(timer.active))
+        sim.run()
+        assert seen == [False]
+
+
+class TestCancellationAccounting:
+    def test_stale_pops_counted(self, sim):
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(5)]
+        for timer in timers[:3]:
+            timer.cancel()
+        executed = sim.run()
+        assert executed == 2
+        assert sim.stale_pops == 3
+        assert sim.cancelled_pending == 0
+
+    def test_peek_time_accounts_stale_entries(self, sim):
+        t1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        t1.cancel()
+        assert sim.cancelled_pending == 1
+        assert sim.peek_time() == 2.0
+        # peek dropped the dead entry from the heap and said so.
+        assert sim.stale_pops == 1
+        assert sim.cancelled_pending == 0
+
+    def test_timers_scheduled_and_cancelled_counters(self, sim):
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(4)]
+        timers[0].cancel()
+        timers[0].cancel()  # idempotent: counted once
+        assert sim.timers_scheduled == 4
+        assert sim.timers_cancelled == 1
+
+
+class TestHeapCompaction:
+    def test_compaction_triggers_when_mostly_cancelled(self, sim):
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(600)]
+        for timer in timers[:400]:
+            timer.cancel()
+        assert sim.heap_compactions >= 1
+        # Cancels after the compaction re-accumulate, but stay under the
+        # trigger threshold; live entries are never dropped.
+        assert sim.cancelled_pending < 256
+        assert sim.pending_events == 200
+
+    def test_compaction_preserves_execution_order(self, sim):
+        fired = []
+        timers = []
+        # Interleave survivors and victims so compaction has to rebuild a
+        # heap whose live entries are scattered.
+        for i in range(600):
+            timers.append(sim.schedule(1.0 + i * 0.001, fired.append, i))
+        victims = [t for i, t in enumerate(timers) if i % 3 != 0]
+        for timer in victims:
+            timer.cancel()
+        assert sim.heap_compactions >= 1
+        sim.run()
+        survivors = [i for i in range(600) if i % 3 == 0]
+        assert fired == survivors
+
+    def test_no_compaction_below_threshold(self, sim):
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(20)]
+        for timer in timers[:10]:
+            timer.cancel()
+        assert sim.heap_compactions == 0
+        assert sim.cancelled_pending == 10
+
+    def test_cancel_inside_callback_keeps_counters_consistent(self, sim):
+        """Cancellations from inside run() (the retransmit-timer pattern)
+        must leave every counter self-consistent when the run ends."""
+        timers = [sim.schedule(10.0 + i, lambda: None) for i in range(580)]
+
+        def cancel_many():
+            for timer in timers[:400]:
+                timer.cancel()
+
+        sim.schedule(1.0, cancel_many)
+        executed = sim.run()
+        assert executed == 1 + 180
+        assert sim.timers_cancelled == 400
+        assert sim.cancelled_pending == 0
+        assert sim.stale_pops + 400 - sim.timers_cancelled <= 400
+        assert sim.pending_events == 0

@@ -12,6 +12,19 @@ def lossy_single_path(sim, queue_bytes=6_000, **kw):
 
 
 class TestKarn:
+    def test_retransmitted_copy_never_feeds_estimator(self, sim):
+        """Karn's rule, directly: the ack for a segment marked as a
+        retransmission must not add an RTT sample."""
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(1448)
+        sim.run(max_events=1)  # segment handed to the link, ack not back yet
+        (segment,) = sf._outstanding.values()
+        segment.retransmitted = True
+        samples_before = sf.rtt.samples
+        drain(sim)
+        assert conn.delivered_bytes == 1448
+        assert sf.rtt.samples == samples_before
+
     def test_retransmitted_segments_not_rtt_sampled(self, sim):
         conn, sf = lossy_single_path(sim)
         conn.write(1_000_000)
@@ -60,6 +73,84 @@ class TestRecoveryEpisodes:
             sim.run(until=sim.now + 0.05)
             assert sf.flight >= 0
         assert conn.delivered_bytes == 800_000
+
+
+class TestIdleResetBoundary:
+    """RFC 5681 idle restart uses a *strict* ``idle > rto`` inequality."""
+
+    def _grown_idle_subflow(self, sim, last_send_time):
+        """A subflow with cwnd > IW, nothing in flight, clock at exactly
+        16.0, RTO exactly 1.0, and a controlled last-send time.
+
+        Exact binary floats throughout (16.0, 15.0, 1.0) so the
+        ``idle == rto`` case is a true equality, not a ulp coin-flip.
+        """
+        from repro.tcp.rtt import RttEstimator
+
+        conn, sf = lossy_single_path(sim, queue_bytes=300_000)
+        conn.write(200_000)
+        drain(sim, limit=16.0)  # transfer finishes well before; clock -> 16.0
+        assert conn.delivered_bytes == 200_000
+        assert sf._in_flight == 0
+        assert sf.cwnd > sf.initial_window
+        sf.rtt = RttEstimator()  # no samples: rto is exactly 1.0
+        sf._last_send_time = last_send_time
+        return conn, sf
+
+    def test_idle_exactly_rto_does_not_reset(self, sim):
+        conn, sf = self._grown_idle_subflow(sim, last_send_time=15.0)
+        cwnd_before = sf.cwnd
+        conn.write(1448)  # idle == 1.0 == rto: strict inequality fails
+        assert sf.stats.idle_resets == 0
+        assert sf.cwnd == cwnd_before
+
+    def test_idle_above_rto_resets(self, sim):
+        conn, sf = self._grown_idle_subflow(sim, last_send_time=14.5)
+        cwnd_before = sf.cwnd
+        conn.write(1448)  # idle == 1.5 > rto
+        assert sf.stats.idle_resets == 1
+        assert sf.cwnd == sf.initial_window
+        assert sf.ssthresh >= 0.75 * cwnd_before
+
+    def test_no_idle_reset_during_ecf_wait(self, sim):
+        """The PR 3 conformance property, at unit scope: while ECF holds
+        segments back for the fast subflow, that subflow has data in
+        flight, so the idle-restart precondition can never be met."""
+        from repro.analysis import events as ev
+
+        conn = build_connection(
+            sim, scheduler_name="ecf", path_specs=((10.0, 0.01), (1.0, 0.3))
+        )
+        with ev.recording() as log:
+            # Two objects with an idle think-gap between them: the gap
+            # provokes a genuine idle reset *outside* any wait interval,
+            # so the containment assertion below is exercised, not vacuous.
+            conn.write(400_000)
+            drain(sim, limit=100.0)
+            conn.write(400_000)
+            drain(sim, limit=300.0)
+        assert conn.delivered_bytes == 800_000
+        decisions = log.of_kind(ev.EcfDecision)
+        waits = [d for d in decisions if d.decision == "wait"]
+        assert waits, "scenario never exercised an ECF wait"
+        resets = log.of_kind(ev.IdleReset)
+        # Whenever a reset happened, the scheduler must not have been in
+        # its waiting state at that instant.
+        waiting_intervals = []
+        start_t = None
+        for d in decisions:
+            if d.waiting_after and start_t is None:
+                start_t = d.t
+            elif not d.waiting_after and start_t is not None:
+                waiting_intervals.append((start_t, d.t))
+                start_t = None
+        if start_t is not None:
+            waiting_intervals.append((start_t, float("inf")))
+        for reset in resets:
+            for lo, hi in waiting_intervals:
+                assert not (lo < reset.t < hi), (
+                    f"idle reset at t={reset.t} inside ECF wait ({lo}, {hi})"
+                )
 
 
 class TestIdleResetCorners:
