@@ -374,10 +374,22 @@ def run_with_checks(
     property is violated, carrying the formatted report, so callers that
     only want the pass/fail signal (the executor's ``--check`` path) can
     simply propagate the exception.
+
+    Any exception leaving this function -- the :class:`CheckError`, a
+    sanitizer assertion, or a crash inside the run -- gets the recorded
+    log attached as an ``event_log`` attribute, so the flight recorder's
+    postmortem writer (:mod:`repro.obs.flight`) can snapshot the full
+    failure context even though this recording shadowed its ring buffer.
     """
     with _events.recording() as log:
-        result = run(spec)
+        try:
+            result = run(spec)
+        except BaseException as exc:
+            exc.event_log = log  # type: ignore[attr-defined]
+            raise
     report = check_log(log, properties=properties)
     if not report.ok:
-        raise CheckError(report.format())
+        error = CheckError(report.format())
+        error.event_log = log  # type: ignore[attr-defined]
+        raise error
     return result, report

@@ -202,6 +202,48 @@ class MinRttDecision(Event):
 
 E = TypeVar("E", bound=Event)
 
+#: Registry of every concrete record type by its ``kind`` name; the wire
+#: format of ``to_dict`` / :func:`event_from_dict`.  Exporters iterate
+#: this to stay exhaustive, and the round-trip tests assert it is.
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.__name__: cls
+    for cls in (
+        Dispatch,
+        SegmentSent,
+        AckProcessed,
+        RtoFired,
+        FastRetransmit,
+        IdleReset,
+        Delivered,
+        Reinjection,
+        EcfDecision,
+        MinRttDecision,
+    )
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> Event:
+    """Rebuild a typed record from its ``to_dict`` form (lossless).
+
+    JSON has no tuples, so :class:`MinRttDecision.available` comes back
+    as nested lists and is re-frozen here; everything else round-trips
+    as-is.
+
+    >>> event_from_dict(Delivered(t=1.5, recv_uid=7, dsn=0,
+    ...                           payload=1448, delay=0.25).to_dict())
+    Delivered(t=1.5, recv_uid=7, dsn=0, payload=1448, delay=0.25)
+    """
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ValueError(f"unknown event kind: {kind!r}")
+    payload = {k: v for k, v in data.items() if k != "kind"}
+    if cls is MinRttDecision:
+        payload["available"] = tuple(
+            (int(sf_id), float(srtt)) for sf_id, srtt in payload["available"]
+        )
+    return cls(**payload)
+
 
 # ----------------------------------------------------------------------
 # The log
@@ -244,6 +286,15 @@ class EventLog:
     def events(self) -> List[Event]:
         """All records, in emission order."""
         return list(self._events)
+
+    def tail(self, n: int) -> List[Event]:
+        """The most recent ``n`` records (all of them if ``n`` exceeds
+        the current length), in emission order."""
+        if n <= 0:
+            return []
+        if n >= len(self._events):
+            return list(self._events)
+        return list(self._events)[-n:]
 
     def __len__(self) -> int:
         return len(self._events)

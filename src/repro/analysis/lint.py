@@ -17,6 +17,7 @@ RPR301   no float ``==`` / ``!=`` on simulated timestamps
 RPR401   experiment spec dataclasses must be ``frozen=True``
 RPR402   spec fields must be plain values, not live simulator objects
 RPR501   registry kind strings must resolve against their registry
+RPR601   no direct ``print()`` outside the CLI front end
 RPR901   no event-queue manipulation outside ``repro.sim.engine``
 =======  ==========================================================
 
@@ -75,6 +76,11 @@ RULES: Dict[str, Tuple[str, str]] = {
     "RPR501": (
         "unknown registry kind string",
         "use a name the registry resolves; typos here only fail at run time",
+    ),
+    "RPR601": (
+        "direct print() in library code",
+        "emit telemetry through the run journal / timeline exporters (or a "
+        "ProgressEvent sink); stdout writes belong to the CLI alone",
     ),
     "RPR901": (
         "event-queue manipulation outside repro.sim.engine",
@@ -148,6 +154,11 @@ _RNG_CONSTRUCTION_ALLOWLIST = ("repro/sim/rng.py",)
 #: key shape the race detector relies on (RPR901).
 _EVENT_QUEUE_ALLOWLIST = ("repro/sim/engine.py",)
 
+#: Files allowed to ``print()`` directly: the CLI front end, whose whole
+#: job is writing to stdout (RPR601).  Library code reports through the
+#: run journal, the timeline exporters, or a ProgressEvent sink.
+_PRINT_ALLOWLIST = ("repro/cli.py",)
+
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 
 
@@ -216,6 +227,7 @@ class _Linter(ast.NodeVisitor):
         posix = Path(path).as_posix()
         self.allow_rng_construction = posix.endswith(_RNG_CONSTRUCTION_ALLOWLIST)
         self.allow_event_queue = posix.endswith(_EVENT_QUEUE_ALLOWLIST)
+        self.allow_print = posix.endswith(_PRINT_ALLOWLIST)
 
     # -- helpers -------------------------------------------------------
     def add(self, node: ast.AST, code: str, detail: str = "") -> None:
@@ -237,6 +249,9 @@ class _Linter(ast.NodeVisitor):
         dotted = _dotted_name(node.func)
         if dotted in _WALL_CLOCK_CALLS:
             self.add(node, "RPR101", f"{dotted}()")
+        elif dotted == "print":
+            if not self.allow_print:
+                self.add(node, "RPR601", "print(...)")
         elif dotted is not None and dotted.startswith("random."):
             head = dotted.split(".", 2)[1]
             if head in ("Random", "SystemRandom"):

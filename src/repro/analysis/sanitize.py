@@ -18,7 +18,11 @@ CLI's ``--sanitize`` flag, or programmatically::
 
 A failed check raises :class:`SanitizerError` (an ``AssertionError``
 subclass, so ``pytest.raises(AssertionError)`` also catches it) naming
-the object and the violated invariant.
+the object and the violated invariant.  When the flight recorder is
+also armed (``REPRO_OBS=1``, see :mod:`repro.obs.flight`), the executor
+catches the escaping error and snapshots a postmortem bundle -- the
+recent event tail, trace tails, and perf counters leading up to the
+violation -- before re-raising it.
 
 This module must stay dependency-free within the package: every protocol
 layer imports it, so it cannot import any of them back.

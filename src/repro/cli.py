@@ -72,11 +72,22 @@ def parse_size(text: str) -> int:
     return int(value * multiplier)
 
 
-def _add_common(parser: argparse.ArgumentParser, multi_sched: bool = True) -> None:
+def _add_common(
+    parser: argparse.ArgumentParser,
+    multi_sched: bool = True,
+    fixtures: bool = False,
+) -> None:
     nargs = "+" if multi_sched else None
+    choices = SCHEDULER_NAMES + FIXTURE_SCHEDULERS if fixtures else SCHEDULER_NAMES
+    help_text = "scheduler(s) to run"
+    if fixtures:
+        help_text += (
+            " (fixture names like ecf-nowait run the seeded-violation "
+            "variants, e.g. to exercise --check / --obs postmortems)"
+        )
     parser.add_argument(
         "--scheduler", nargs=nargs, default=["minrtt", "ecf"] if multi_sched else "ecf",
-        choices=SCHEDULER_NAMES, help="scheduler(s) to run",
+        choices=choices, help=help_text,
     )
     parser.add_argument("--wifi", type=float, default=1.0, help="WiFi Mbps")
     parser.add_argument("--lte", type=float, default=8.6, help="LTE Mbps")
@@ -104,6 +115,19 @@ def _add_perf_flag(parser: argparse.ArgumentParser) -> None:
         "--perf", action="store_true",
         help="attach a per-run perf record (counters + wall time) to every "
         "result (REPRO_PERF=1; see repro.perf)",
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="enable the flight recorder: failed runs leave a postmortem "
+        "bundle and sweeps write a run journal (REPRO_OBS=1; see repro.obs)",
+    )
+    parser.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="where postmortem bundles and the run journal land "
+        "(REPRO_OBS_DIR; default: .repro-obs); implies --obs",
     )
 
 
@@ -302,6 +326,66 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_trace_export(args) -> int:
+    import json
+
+    from repro.obs import timeline
+
+    source = timeline.load_export_source(args.source)
+    if args.format == "perfetto":
+        document = timeline.timeline_document(source["events"], source["traces"])
+        if args.output:
+            timeline.write_timeline(document, args.output)
+            print(f"wrote {args.output} ({len(document['traceEvents'])} trace events)")
+        else:
+            print(json.dumps(document))
+        return 0
+    if args.format == "jsonl":
+        text = timeline.to_jsonl(source["events"])
+    else:  # prom
+        perf = source.get("perf") or {}
+        if isinstance(perf.get("counters"), dict):
+            # PerfRecord shape (results): flatten the nested snapshot in
+            # with the top-level wall/sim figures.
+            flat = {k: v for k, v in perf.items() if not isinstance(v, dict)}
+            flat.update(perf["counters"])
+            perf = flat
+        text = timeline.prometheus_text(perf)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_trace_validate(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import timeline
+
+    document = json.loads(Path(args.document).read_text())
+    problems = timeline.validate_trace_events(
+        document,
+        min_subflow_tracks=args.min_subflow_tracks,
+        require_ecf_waits=args.require_ecf_waits,
+    )
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(
+        f"{args.document}: valid trace-event document "
+        f"({len(document.get('traceEvents', []))} events)"
+    )
+    return 0
+
+
 def cmd_bench(args) -> int:
     import json
     from pathlib import Path
@@ -367,11 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_download)
 
     p = sub.add_parser("streaming", help="DASH streaming session")
-    _add_common(p)
+    _add_common(p, fixtures=True)
     p.add_argument("--video", type=float, default=120.0, help="video seconds")
     _add_executor_flags(p)
     _add_check_flag(p)
     _add_perf_flag(p)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_streaming)
 
     p = sub.add_parser("web", help="full-page Web browsing")
@@ -385,6 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(p)
     _add_sanitize_flag(p)
     _add_check_flag(p)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_grid)
 
     p = sub.add_parser("wild", help="in-the-wild emulation")
@@ -393,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(p)
     _add_sanitize_flag(p)
     _add_check_flag(p)
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_wild)
 
     p = sub.add_parser(
@@ -476,6 +563,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
+        "trace",
+        help="observability timelines: export event logs / postmortem "
+        "bundles to Perfetto JSON, JSONL, or Prometheus text",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    pe = trace_sub.add_parser(
+        "export", help="convert a run or postmortem into a viewable timeline"
+    )
+    pe.add_argument(
+        "source",
+        help="postmortem bundle directory, events .jsonl, or a cached/"
+        "exported result .json",
+    )
+    pe.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="output file (default: stdout)",
+    )
+    pe.add_argument(
+        "--format", choices=("perfetto", "jsonl", "prom"), default="perfetto",
+        help="perfetto = Chrome trace-event JSON (load at ui.perfetto.dev), "
+        "jsonl = flat event records, prom = Prometheus text counters",
+    )
+    pe.set_defaults(func=cmd_trace_export)
+    pv = trace_sub.add_parser(
+        "validate", help="structurally validate an exported trace-event JSON"
+    )
+    pv.add_argument("document", help="trace-event JSON file to validate")
+    pv.add_argument(
+        "--min-subflow-tracks", type=int, default=0, metavar="N",
+        help="require at least N per-subflow tracks",
+    )
+    pv.add_argument(
+        "--require-ecf-waits", action="store_true",
+        help="require at least one 'ecf wait' duration event",
+    )
+    pv.set_defaults(func=cmd_trace_validate)
+
+    p = sub.add_parser(
         "report", help="collate benchmarks/output/*.txt into one markdown report"
     )
     p.add_argument("--output", default="-", help="file to write ('-' = stdout)")
@@ -509,6 +634,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Same propagation trick as --sanitize/--check: pool workers
         # inherit the environment and attach a perf record per run.
         os.environ[perf_counters.ENV_VAR] = "1"
+    if getattr(args, "obs", False) or getattr(args, "obs_dir", None):
+        import os
+
+        from repro.obs import flight as obs_flight
+
+        # --obs-dir implies --obs; both propagate into pool workers, which
+        # write postmortem bundles at spec-hash-derived paths under the dir.
+        os.environ[obs_flight.ENV_VAR] = "1"
+        if getattr(args, "obs_dir", None):
+            os.environ[obs_flight.DIR_ENV_VAR] = args.obs_dir
     return args.func(args)
 
 

@@ -21,6 +21,7 @@ import math
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis import events as _events
+from repro.obs import flight as _flight
 from repro.perf import counters as _perf
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,6 +41,8 @@ class Scheduler:
         self.waits = 0
         if _perf.COLLECTOR is not None:
             _perf.COLLECTOR.adopt_scheduler(self)
+        if _flight.COLLECTOR is not None:
+            _flight.COLLECTOR.adopt_scheduler(self)
 
     def attach(self, conn: "MptcpConnection") -> None:
         """Bind this scheduler instance to its connection."""

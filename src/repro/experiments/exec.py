@@ -49,7 +49,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis import check
 from repro.experiments.spec import (
@@ -62,6 +62,8 @@ from repro.experiments.spec import (
     spec_hash,
     spec_to_dict,
 )
+from repro.obs import flight as obs_flight
+from repro.obs.journal import RunJournal
 from repro.perf import counters as perf_counters
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -82,6 +84,7 @@ class ExecutorStats:
     executed: int = 0
     cached: int = 0
     retried: int = 0
+    failed: int = 0
 
     @property
     def total(self) -> int:
@@ -90,7 +93,7 @@ class ExecutorStats:
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One progress tick, emitted after every completed run."""
+    """One progress tick, emitted after every completed (or failed) run."""
 
     done: int
     total: int
@@ -98,6 +101,8 @@ class ProgressEvent:
     cached: int
     elapsed_s: float
     eta_s: Optional[float]
+    failed: int = 0
+    retried: int = 0
 
 
 class ProgressReporter:
@@ -112,6 +117,7 @@ class ProgressReporter:
         self.stream.write(
             f"\r[{event.done}/{event.total}] {pct:3.0f}% "
             f"executed={event.executed} cached={event.cached} "
+            f"failed={event.failed} "
             f"elapsed={event.elapsed_s:.1f}s eta={eta}"
         )
         if event.done == event.total:
@@ -154,9 +160,18 @@ def _execute_payload(payload: Dict[str, Any], timeout_s: Optional[float]) -> Dic
 
     Module-level (picklable) and dict-in/dict-out so nothing but plain
     values crosses the process boundary.
+
+    With ``REPRO_OBS`` set the whole attempt runs inside a flight window
+    (:func:`repro.obs.flight.flight`): any exception -- sanitizer
+    assertion, :class:`~repro.analysis.check.CheckError`,
+    :class:`RunTimeoutError`, or a plain crash -- snapshots a postmortem
+    bundle at the spec's deterministic path before propagating, so the
+    parent (which only sees a pickled exception) can find it again via
+    :func:`repro.obs.flight.postmortem_dir_for`.
     """
     spec = spec_from_dict(payload)
-    label = f"{payload['kind']} {spec_hash(spec)[:12]}"
+    key = spec_hash(spec)
+    label = f"{payload['kind']} {key[:12]}"
 
     def invoke(target_spec: Any) -> Any:
         if check.check_enabled():
@@ -167,14 +182,34 @@ def _execute_payload(payload: Dict[str, Any], timeout_s: Optional[float]) -> Dic
             return result
         return run_spec(target_spec)
 
-    with _wall_clock_limit(timeout_s, label):
-        if perf_counters.perf_enabled():
-            # REPRO_PERF: collect deterministic counters + wall time for
-            # this run and ship them on the result's optional perf field.
-            result, record = perf_counters.measure(invoke, spec)
-            attach_perf(result, record.to_dict())
-        else:
-            result = invoke(spec)
+    def run_once() -> Any:
+        with _wall_clock_limit(timeout_s, label):
+            if perf_counters.perf_enabled():
+                # REPRO_PERF: collect deterministic counters + wall time
+                # for this run and ship them on the result's perf field.
+                result, record = perf_counters.measure(invoke, spec)
+                attach_perf(result, record.to_dict())
+                return result
+            return invoke(spec)
+
+    if not obs_flight.obs_enabled():
+        return run_once().to_dict()
+
+    with obs_flight.flight() as recorder:
+        try:
+            result = run_once()
+        except BaseException as exc:
+            from repro.perf.bench import current_rev
+
+            recorder.write_postmortem(
+                kind=payload["kind"],
+                spec=payload,
+                spec_hash=key,
+                seed=payload.get("seed"),
+                rev=current_rev(),
+                error=exc,
+            )
+            raise
     return result.to_dict()
 
 
@@ -236,6 +271,10 @@ class ExperimentExecutor:
         died) before the batch fails.
     progress: ``True`` for the built-in stderr ticker, a callable for
         custom handling of :class:`ProgressEvent`, falsy for silence.
+    journal: a :class:`~repro.obs.journal.RunJournal`, a path to append
+        one to, or ``None``.  With ``None`` and ``REPRO_OBS`` set, a
+        journal is opened at ``<obs_dir>/journal.jsonl`` automatically,
+        so every observed sweep leaves a per-job record behind.
     """
 
     def __init__(
@@ -246,6 +285,7 @@ class ExperimentExecutor:
         timeout_s: Optional[float] = None,
         retries: int = 1,
         progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
+        journal: Union[None, RunJournal, PathLike] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -263,6 +303,12 @@ class ExperimentExecutor:
             self._progress = progress
         else:
             self._progress = None
+        if journal is None and obs_flight.obs_enabled():
+            journal = obs_flight.obs_dir() / "journal.jsonl"
+        if journal is None or isinstance(journal, RunJournal):
+            self.journal: Optional[RunJournal] = journal
+        else:
+            self.journal = RunJournal(journal)
         self.stats = ExecutorStats()
 
     # -- context manager sugar (no persistent resources today) ----------
@@ -307,10 +353,25 @@ class ExperimentExecutor:
                     cached=self.stats.cached,
                     elapsed_s=elapsed,
                     eta_s=eta,
+                    failed=self.stats.failed,
+                    retried=self.stats.retried,
                 )
             )
 
         hashes = [spec_hash(spec) for spec in specs]
+        if self.journal is not None:
+            self.journal.batch_start(
+                total=total,
+                jobs=self.jobs,
+                cache=None if self.cache is None else str(self.cache.root),
+                timeout_s=self.timeout_s,
+                retries=self.retries,
+            )
+
+        def journal_job(**fields: Any) -> None:
+            if self.journal is not None:
+                self.journal.job(**fields)
+
         pending: List[int] = []
         for index, spec in enumerate(specs):
             entry = self.cache.get(hashes[index]) if self.cache else None
@@ -318,11 +379,20 @@ class ExperimentExecutor:
                 results[index] = result_from_dict(spec.kind, entry["result"])
                 self.stats.cached += 1
                 done += 1
+                journal_job(
+                    spec_hash=hashes[index],
+                    kind=spec.kind,
+                    status="cached",
+                    wall_s=0.0,
+                    attempts=0,
+                )
                 report()
             else:
                 pending.append(index)
 
-        def finalize(index: int, result_dict: Dict[str, Any]) -> None:
+        def finalize(
+            index: int, result_dict: Dict[str, Any], wall_s: float, attempts: int
+        ) -> None:
             nonlocal done
             spec = specs[index]
             results[index] = result_from_dict(spec.kind, result_dict)
@@ -344,16 +414,60 @@ class ExperimentExecutor:
                 )
             self.stats.executed += 1
             done += 1
+            journal_job(
+                spec_hash=hashes[index],
+                kind=spec.kind,
+                status="executed",
+                wall_s=round(wall_s, 6),
+                attempts=attempts,
+            )
             report()
 
-        if not pending:
-            return results
-        payloads = {index: spec_to_dict(specs[index]) for index in pending}
-        if self.jobs == 1 or len(pending) == 1:
-            for index in pending:
-                finalize(index, self._run_with_retry_inline(payloads[index]))
-        else:
-            self._run_on_pool(pending, payloads, finalize)
+        def fail(index: int, exc: BaseException, wall_s: float, attempts: int) -> None:
+            # Accounting for a permanently failed job; the caller raises.
+            self.stats.failed += 1
+            postmortem: Optional[str] = None
+            if obs_flight.obs_enabled():
+                # The worker writes the bundle at a path derived from the
+                # spec hash alone, so the parent can re-derive it here
+                # without anything crossing the pool boundary.
+                bundle = obs_flight.postmortem_dir_for(hashes[index])
+                if bundle.exists():
+                    postmortem = str(bundle)
+            journal_job(
+                spec_hash=hashes[index],
+                kind=specs[index].kind,
+                status="failed",
+                wall_s=round(wall_s, 6),
+                attempts=attempts,
+                error={"type": type(exc).__name__, "message": str(exc)},
+                postmortem=postmortem,
+            )
+            report()
+
+        try:
+            if pending:
+                payloads = {index: spec_to_dict(specs[index]) for index in pending}
+                if self.jobs == 1 or len(pending) == 1:
+                    for index in pending:
+                        finalize(
+                            index,
+                            *self._run_with_retry_inline(
+                                index, hashes[index], payloads[index], fail
+                            ),
+                        )
+                else:
+                    self._run_on_pool(pending, hashes, payloads, finalize, fail)
+        finally:
+            if self.journal is not None:
+                self.journal.batch_end(
+                    done=done,
+                    executed=self.stats.executed,
+                    cached=self.stats.cached,
+                    failed=self.stats.failed,
+                    retried=self.stats.retried,
+                    elapsed_s=round(time.monotonic() - started, 6),  # repro: noqa[RPR101]
+                )
         return results
 
     def submit_one(self, spec: Any) -> Any:
@@ -361,55 +475,103 @@ class ExperimentExecutor:
         return self.run([spec])[0]
 
     # -- execution paths -------------------------------------------------
-    def _run_with_retry_inline(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _run_with_retry_inline(
+        self,
+        index: int,
+        key: str,
+        payload: Dict[str, Any],
+        fail: Callable[[int, BaseException, float, int], None],
+    ) -> Tuple[Dict[str, Any], float, int]:
+        """Returns ``(result_dict, wall_s, attempts)`` or raises.
+
+        ``wall_s`` brackets all attempts of this job, timed parent-side.
+        """
+        start = time.monotonic()  # repro: noqa[RPR101]
         for attempt in range(self.retries + 1):
             try:
-                return _execute_payload(payload, self.timeout_s)
+                result = _execute_payload(payload, self.timeout_s)
             except RunTimeoutError as exc:
+                wall = time.monotonic() - start  # repro: noqa[RPR101]
                 if attempt == self.retries:
+                    fail(index, exc, wall, attempt + 1)
                     raise ExperimentError(
                         f"{payload['kind']} run failed after "
                         f"{self.retries + 1} attempts: {exc}"
                     ) from exc
                 self.stats.retried += 1
+                if self.journal is not None:
+                    self.journal.retry(
+                        spec_hash=key, attempt=attempt + 1, error=str(exc)
+                    )
+            except Exception as exc:
+                # Non-timeout failures (CheckError, sanitizer assertions,
+                # crashes) are permanent: journal them, then propagate the
+                # original exception unwrapped, as before.
+                fail(index, exc, time.monotonic() - start, attempt + 1)  # repro: noqa[RPR101]
+                raise
+            else:
+                wall = time.monotonic() - start  # repro: noqa[RPR101]
+                return result, wall, attempt + 1
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _run_on_pool(
         self,
         pending: List[int],
+        hashes: List[str],
         payloads: Dict[int, Dict[str, Any]],
-        finalize: Callable[[int, Dict[str, Any]], None],
+        finalize: Callable[[int, Dict[str, Any], float, int], None],
+        fail: Callable[[int, BaseException, float, int], None],
     ) -> None:
         attempts = {index: 0 for index in pending}
+        submitted_at: Dict[int, float] = {}
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_payload, payloads[index], self.timeout_s): index
-                for index in pending
-            }
+            futures: Dict[Any, int] = {}
+
+            def submit(index: int) -> None:
+                # Per-job wall time on the pool spans submit-to-completion
+                # (queue wait included) -- the parent cannot see inside the
+                # worker, and for sweep triage the end-to-end figure is the
+                # one that matters.
+                submitted_at[index] = time.monotonic()  # repro: noqa[RPR101]
+                futures[
+                    pool.submit(_execute_payload, payloads[index], self.timeout_s)
+                ] = index
+
+            for index in pending:
+                submit(index)
             while futures:
                 completed, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in completed:
                     index = futures.pop(future)
+                    attempts[index] += 1
+                    wall = time.monotonic() - submitted_at[index]  # repro: noqa[RPR101]
                     try:
                         result_dict = future.result()
                     except RunTimeoutError as exc:
-                        attempts[index] += 1
                         if attempts[index] > self.retries:
                             for other in futures:
                                 other.cancel()
+                            fail(index, exc, wall, attempts[index])
                             raise ExperimentError(
                                 f"{payloads[index]['kind']} run failed after "
                                 f"{attempts[index]} attempts: {exc}"
                             ) from exc
                         self.stats.retried += 1
-                        futures[
-                            pool.submit(
-                                _execute_payload, payloads[index], self.timeout_s
+                        if self.journal is not None:
+                            self.journal.retry(
+                                spec_hash=hashes[index],
+                                attempt=attempts[index],
+                                error=str(exc),
                             )
-                        ] = index
+                        submit(index)
+                    except Exception as exc:
+                        for other in futures:
+                            other.cancel()
+                        fail(index, exc, wall, attempts[index])
+                        raise
                     else:
-                        finalize(index, result_dict)
+                        finalize(index, result_dict, wall, attempts[index])
 
 
 def run_specs(
@@ -420,6 +582,7 @@ def run_specs(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
+    journal: Union[None, RunJournal, PathLike] = None,
 ) -> List[Any]:
     """One-shot convenience wrapper around :class:`ExperimentExecutor`."""
     with ExperimentExecutor(
@@ -429,5 +592,6 @@ def run_specs(
         timeout_s=timeout_s,
         retries=retries,
         progress=progress,
+        journal=journal,
     ) as executor:
         return executor.run(specs)

@@ -28,6 +28,7 @@ from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.bandwidth import BandwidthSpec, make_bandwidth_process
 from repro.net.path import Path
 from repro.net.profiles import PathConfig, lte_config, make_path, wifi_config
+from repro.obs import flight as _flight
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
@@ -294,8 +295,20 @@ def run_streaming(config: StreamingRunConfig) -> StreamingRunResult:
 
     session.observers.append(_record_gap)
 
-    if trace is not None:
-        sampler = PeriodicSampler(sim, trace, period=config.sample_period)
+    obs_trace: Optional[TraceRecorder] = None
+    if trace is None and _flight.COLLECTOR is not None:
+        # Flight recorder on but traces off: sample CWND/send-buffer into
+        # a bounded side recorder for the postmortem bundle only.  The
+        # recorder adopts itself into the flight window at construction;
+        # it is never attached to the result, so the wire format (and the
+        # cached digests) are untouched.
+        obs_trace = TraceRecorder(
+            max_samples_per_series=_flight.COLLECTOR.trace_tail
+        )
+    for target in (trace, obs_trace):
+        if target is None:
+            continue
+        sampler = PeriodicSampler(sim, target, period=config.sample_period)
         for sf in conn.subflows:
             label = f"{sf.path.name}{sf.sf_id}"
             sampler.add(f"cwnd.{label}", lambda sf=sf: sf.cwnd)

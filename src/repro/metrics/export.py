@@ -20,12 +20,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 PathLike = Union[str, Path]
 
 
+def _ensure_parent(path: PathLike) -> None:
+    """Create the target's parent directories (writers shouldn't fail on
+    a fresh output tree)."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+
+
 def write_series_csv(
     path: PathLike,
     series: Iterable[Tuple[float, float]],
     header: Tuple[str, str] = ("x", "y"),
 ) -> None:
     """Write one (x, y) series as a two-column CSV."""
+    _ensure_parent(path)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
@@ -47,6 +54,7 @@ def write_matrix_csv(
     col_label: str = "wifi_mbps",
 ) -> None:
     """Write a (wifi, lte) -> value matrix as a long-form CSV."""
+    _ensure_parent(path)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow([col_label, row_label, "value"])
@@ -188,6 +196,7 @@ def write_streaming_results_json(
     path: PathLike, results: Sequence["StreamingRunResult"]
 ) -> None:
     """Dump a batch of streaming runs as a JSON array."""
+    _ensure_parent(path)
     payload: List[Dict] = [streaming_result_to_dict(r) for r in results]
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)

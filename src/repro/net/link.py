@@ -25,6 +25,7 @@ from typing import Callable, Deque, Optional
 
 from repro.analysis import sanitize as _sanitize
 from repro.net.packet import Packet
+from repro.obs import flight as _flight
 from repro.perf import counters as _perf
 from repro.sim.engine import Simulator, Timer
 
@@ -147,6 +148,8 @@ class Link:
         self._deliver_cb = self._deliver
         if _perf.COLLECTOR is not None:
             _perf.COLLECTOR.adopt_link(self)
+        if _flight.COLLECTOR is not None:
+            _flight.COLLECTOR.adopt_link(self)
 
     # ------------------------------------------------------------------
     # Sending

@@ -1,0 +1,122 @@
+"""Structured run journal: per-job JSONL records for executor batches.
+
+A 10k-cell sweep that dies at cell 7312 is undiagnosable from a progress
+line.  The journal is an append-only JSONL file (one JSON object per
+line) that :class:`~repro.experiments.exec.ExperimentExecutor` writes as
+the batch unfolds, so after the fact you can answer: which specs ran,
+which came from cache, which timed out and how often they were retried,
+which failed and where their postmortem bundle landed, and how long each
+one took.
+
+Record schema (every line carries ``record``, ``seq``, and ``wall`` --
+a host wall-clock timestamp, which is deliberate: the journal describes
+the *campaign*, not anything inside a simulation):
+
+``batch_start``
+    ``total``, ``jobs``, ``cache`` (cache root or ``null``),
+    ``timeout_s``, ``retries``.
+``job``
+    ``spec_hash``, ``kind``, ``status`` (``"cached"`` / ``"executed"`` /
+    ``"failed"``), ``wall_s`` (parent-side: inline it brackets the run;
+    on the pool it spans submit-to-completion, queue wait included),
+    ``attempts``, and for failures ``error`` {``type``, ``message``} and
+    ``postmortem`` (bundle path, when the flight recorder was on).
+``retry``
+    ``spec_hash``, ``attempt``, ``error`` -- one per timed-out attempt.
+``batch_end``
+    ``done``, ``executed``, ``cached``, ``failed``, ``retried``,
+    ``elapsed_s``.
+
+The file is append-opened per record (no handle to leak across the
+executor's lifetime) and is safe to tail while a sweep runs.  Load one
+back with :func:`read_journal`; :func:`summarize` folds the records into
+a per-status accounting for quick triage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class RunJournal:
+    """Append-only JSONL journal of one or more executor batches."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+
+    def record(self, record_type: str, **fields: Any) -> Dict[str, Any]:
+        """Append one record; returns the dict that was written."""
+        self._seq += 1
+        entry: Dict[str, Any] = {
+            "record": record_type,
+            "seq": self._seq,
+            # Campaign bookkeeping, not simulation state: wall clock is
+            # the honest timestamp for "when did this job finish".
+            "wall": time.time(),  # repro: noqa[RPR101]
+        }
+        entry.update(fields)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        return entry
+
+    # -- typed conveniences (thin wrappers; schema lives in the docstring)
+    def batch_start(self, **fields: Any) -> Dict[str, Any]:
+        return self.record("batch_start", **fields)
+
+    def job(self, **fields: Any) -> Dict[str, Any]:
+        return self.record("job", **fields)
+
+    def retry(self, **fields: Any) -> Dict[str, Any]:
+        return self.record("retry", **fields)
+
+    def batch_end(self, **fields: Any) -> Dict[str, Any]:
+        return self.record("batch_end", **fields)
+
+
+def read_journal(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a journal file back into its records (skipping blank lines)."""
+    records: List[Dict[str, Any]] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if not isinstance(entry, dict):
+            raise ValueError(f"journal line is not an object: {line[:80]!r}")
+        records.append(entry)
+    return records
+
+
+def summarize(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold journal records into a quick-triage accounting.
+
+    Returns counts per job status, total retries, and the spec hashes of
+    failed jobs with their postmortem paths (when present).
+    """
+    statuses: Dict[str, int] = {}
+    retries = 0
+    failures: List[Dict[str, Any]] = []
+    for entry in records:
+        kind = entry.get("record")
+        if kind == "job":
+            status = str(entry.get("status", "unknown"))
+            statuses[status] = statuses.get(status, 0) + 1
+            if status == "failed":
+                failures.append(
+                    {
+                        "spec_hash": entry.get("spec_hash"),
+                        "error": entry.get("error"),
+                        "postmortem": entry.get("postmortem"),
+                    }
+                )
+        elif kind == "retry":
+            retries += 1
+    return {"statuses": statuses, "retries": retries, "failures": failures}

@@ -132,6 +132,14 @@ class PerfCollector:
     def adopt_scheduler(self, scheduler: Any) -> None:
         self._schedulers.append(scheduler)
 
+    def adopted_counts(self) -> Dict[str, int]:
+        """How many objects of each kind this collector adopted."""
+        return {
+            "sims": len(self._sims),
+            "links": len(self._link_stats),
+            "schedulers": len(self._schedulers),
+        }
+
     # -- aggregation -----------------------------------------------------
     def snapshot(self) -> PerfSnapshot:
         events = stale = scheduled = cancelled = compactions = 0

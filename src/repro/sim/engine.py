@@ -26,6 +26,7 @@ from typing import Any, Callable, Iterator, Optional, Tuple
 
 from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
+from repro.obs import flight as _flight
 from repro.perf import counters as _perf
 
 _heappush = heapq.heappush
@@ -179,6 +180,8 @@ class Simulator:
         self._compactions: int = 0
         if _perf.COLLECTOR is not None:
             _perf.COLLECTOR.adopt_sim(self)
+        if _flight.COLLECTOR is not None:
+            _flight.COLLECTOR.adopt_sim(self)
 
     # ------------------------------------------------------------------
     # Scheduling

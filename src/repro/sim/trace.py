@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.obs import flight as _flight
+
 Sample = Tuple[float, float]
 
 _Bucket = Union[List[Sample], Deque[Sample]]
@@ -39,6 +41,8 @@ class TraceRecorder:
         self.enabled = enabled
         self.max_samples_per_series = max_samples_per_series
         self._series: Dict[str, _Bucket] = {}
+        if _flight.COLLECTOR is not None:
+            _flight.COLLECTOR.adopt_trace(self)
 
     def _bucket(self, series: str) -> _Bucket:
         bucket = self._series.get(series)

@@ -159,6 +159,22 @@ class TestExport:
         assert lines[0] == "wifi_mbps,lte_mbps,value"
         assert len(lines) == 3
 
+    def test_writers_create_parent_directories(self, tmp_path):
+        # Regression: writers used to fail with FileNotFoundError when
+        # pointed at a fresh output tree (e.g. results/run3/cdf.csv).
+        deep = tmp_path / "results" / "run3"
+        write_series_csv(deep / "series.csv", [(1.0, 2.0)])
+        write_cdf_csv(deep / "sub" / "cdf.csv", [1.0, 2.0])
+        write_matrix_csv(deep / "matrix" / "m.csv", {(0.3, 8.6): 0.7})
+        assert (deep / "series.csv").exists()
+        assert (deep / "sub" / "cdf.csv").exists()
+        assert (deep / "matrix" / "m.csv").exists()
+        result = run_streaming(StreamingRunConfig(
+            scheduler="minrtt", wifi_mbps=4.2, lte_mbps=8.6, video_duration=6.0
+        ))
+        write_streaming_results_json(deep / "json" / "runs.json", [result])
+        assert load_streaming_results_json(deep / "json" / "runs.json")
+
     def test_streaming_results_json_roundtrip(self, tmp_path):
         result = run_streaming(StreamingRunConfig(
             scheduler="ecf", wifi_mbps=4.2, lte_mbps=8.6, video_duration=15.0
