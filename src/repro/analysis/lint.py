@@ -18,6 +18,7 @@ RPR401   experiment spec dataclasses must be ``frozen=True``
 RPR402   spec fields must be plain values, not live simulator objects
 RPR501   registry kind strings must resolve against their registry
 RPR601   no direct ``print()`` outside the CLI front end
+RPR701   no cross-package imports of underscore-prefixed names
 RPR901   no event-queue manipulation outside ``repro.sim.engine``
 =======  ==========================================================
 
@@ -81,6 +82,12 @@ RULES: Dict[str, Tuple[str, str]] = {
         "direct print() in library code",
         "emit telemetry through the run journal / timeline exporters (or a "
         "ProgressEvent sink); stdout writes belong to the CLI alone",
+    ),
+    "RPR701": (
+        "cross-package import of an underscore-prefixed name",
+        "underscore names are package-private; import the public accessor "
+        "(e.g. registered_schedulers()) or promote the name if it is "
+        "genuinely part of the supported surface",
     ),
     "RPR901": (
         "event-queue manipulation outside repro.sim.engine",
@@ -205,18 +212,35 @@ def _registries() -> Dict[str, Set[str]]:
     registered scheduler is immediately lintable without touching the
     linter.
     """
-    from repro.core.registry import _FACTORIES as scheduler_factories
-    from repro.net.bandwidth import _BANDWIDTH_FACTORIES as bandwidth_factories
-    from repro.tcp.cc import CONTROLLER_NAMES
-    from repro.experiments import spec as experiment_spec
+    from repro.core.registry import registered_schedulers
+    from repro.experiments.spec import registered_experiment_kinds
+    from repro.net.bandwidth import registered_bandwidth_kinds
+    from repro.service.backends import registered_backend_kinds
+    from repro.tcp.cc import registered_controllers
 
-    experiment_spec._ensure_builtin_kinds()
     return {
-        "scheduler": set(scheduler_factories),
-        "congestion_control": set(CONTROLLER_NAMES),
-        "bandwidth": set(bandwidth_factories),
-        "experiment": set(experiment_spec._KINDS),
+        "scheduler": set(registered_schedulers()),
+        "congestion_control": set(registered_controllers()),
+        "bandwidth": set(registered_bandwidth_kinds()),
+        "experiment": set(registered_experiment_kinds()),
+        "backend": set(registered_backend_kinds()),
     }
+
+
+def _repro_package_of(path: str) -> Optional[str]:
+    """The repro subpackage a file belongs to, for RPR701.
+
+    ``src/repro/analysis/lint.py`` -> ``"analysis"``;
+    ``src/repro/cli.py`` -> ``""`` (the package root); files outside the
+    ``repro`` package -> ``None`` (external consumers, for whom *every*
+    repro underscore name is private -- suppress with a noqa where a
+    test deliberately reaches into internals).
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" not in parts:
+        return None
+    rel = parts[len(parts) - 1 - parts[::-1].index("repro") + 1 :]
+    return rel[0] if len(rel) > 1 else ""
 
 
 class _Linter(ast.NodeVisitor):
@@ -228,6 +252,7 @@ class _Linter(ast.NodeVisitor):
         self.allow_rng_construction = posix.endswith(_RNG_CONSTRUCTION_ALLOWLIST)
         self.allow_event_queue = posix.endswith(_EVENT_QUEUE_ALLOWLIST)
         self.allow_print = posix.endswith(_PRINT_ALLOWLIST)
+        self.repro_package = _repro_package_of(path)
 
     # -- helpers -------------------------------------------------------
     def add(self, node: ast.AST, code: str, detail: str = "") -> None:
@@ -267,16 +292,22 @@ class _Linter(ast.NodeVisitor):
         registry_key = {
             "make_scheduler": "scheduler",
             "make_controller": "congestion_control",
+            "build_controller": "congestion_control",
             "experiment_kind": "experiment",
         }.get(terminal or "")
         if terminal == "of":
-            # BandwidthSpec.of("kind", ...) -- only when the receiver is
-            # literally named BandwidthSpec; other .of() calls pass.
+            # SchedulerSpec.of("kind", ...) and friends -- only when the
+            # receiver is literally one of the known spec class names;
+            # other .of() calls pass.
             receiver = (
                 node.func.value if isinstance(node.func, ast.Attribute) else None
             )
-            if receiver is not None and _terminal_name(receiver) == "BandwidthSpec":
-                registry_key = "bandwidth"
+            if receiver is not None:
+                registry_key = {
+                    "BandwidthSpec": "bandwidth",
+                    "SchedulerSpec": "scheduler",
+                    "CcSpec": "congestion_control",
+                }.get(_terminal_name(receiver) or "", registry_key)
         if registry_key is None or not node.args:
             return
         first = node.args[0]
@@ -293,17 +324,48 @@ class _Linter(ast.NodeVisitor):
                 f"(known: {', '.join(sorted(known))})",
             )
 
+    # -- RPR701 (cross-package private imports) -------------------------
+    def _foreign_repro_module(self, module: str) -> bool:
+        """True when ``module`` names a repro subpackage other than ours."""
+        parts = module.split(".")
+        if parts[0] != "repro":
+            return False
+        if self.repro_package is None:
+            return True
+        target = parts[1] if len(parts) > 1 else ""
+        return target != self.repro_package
+
+    def _check_private_import(self, node: ast.AST, module: str, name: str) -> None:
+        if not self._foreign_repro_module(module):
+            return
+        private_component = next(
+            (part for part in module.split(".") if part.startswith("_")), None
+        )
+        if private_component is not None:
+            self.add(node, "RPR701", f"module {module} ({private_component})")
+        elif name.startswith("_"):
+            self.add(node, "RPR701", f"from {module} import {name}")
+
     # -- RPR901 (event-queue manipulation) -----------------------------
     def visit_Import(self, node: ast.Import) -> None:
         if not self.allow_event_queue:
             for alias in node.names:
                 if alias.name == "heapq":
                     self.add(node, "RPR901", "import heapq")
+        for alias in node.names:
+            # ``import repro.x._priv``: the module path itself is private.
+            self._check_private_import(node, alias.name, "")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if not self.allow_event_queue and node.module == "heapq":
             self.add(node, "RPR901", "from heapq import ...")
+        # Relative imports (level > 0) stay within their own package tree
+        # as far as this rule cares; only absolute repro imports cross
+        # package boundaries visibly.
+        if node.level == 0 and node.module:
+            for alias in node.names:
+                self._check_private_import(node, node.module, alias.name)
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

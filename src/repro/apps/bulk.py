@@ -12,7 +12,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, ClassVar, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.apps.http import HttpSession
-from repro.core.registry import make_scheduler
+from repro.core.spec import SchedulerSpec, build
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.path import Path
 from repro.net.profiles import PathConfig, make_path
@@ -127,7 +127,7 @@ def run_bulk(spec: BulkDownloadSpec) -> BulkDownloadResult:
         make_path(sim, pc, rngs.stream(f"loss.{i}.{pc.name}"))
         for i, pc in enumerate(spec.path_configs)
     ]
-    scheduler = make_scheduler(spec.scheduler, **spec.scheduler_params)
+    scheduler = build(SchedulerSpec.of(spec.scheduler, **spec.scheduler_params))
     conn = MptcpConnection(
         sim, paths, scheduler, config=spec.connection, name=f"wget-{spec.scheduler}"
     )

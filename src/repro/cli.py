@@ -72,13 +72,23 @@ def parse_size(text: str) -> int:
     return int(value * multiplier)
 
 
+def _scheduler_choices(fixtures: bool = False) -> tuple:
+    """The ``--scheduler`` choice set, everywhere.
+
+    Fixture schedulers (seeded-violation variants like ``ecf-nowait``)
+    are opt-in per command; every parser gates them through this one
+    helper so they are offered -- or hidden -- identically.
+    """
+    return SCHEDULER_NAMES + FIXTURE_SCHEDULERS if fixtures else SCHEDULER_NAMES
+
+
 def _add_common(
     parser: argparse.ArgumentParser,
     multi_sched: bool = True,
     fixtures: bool = False,
 ) -> None:
     nargs = "+" if multi_sched else None
-    choices = SCHEDULER_NAMES + FIXTURE_SCHEDULERS if fixtures else SCHEDULER_NAMES
+    choices = _scheduler_choices(fixtures)
     help_text = "scheduler(s) to run"
     if fixtures:
         help_text += (
@@ -151,10 +161,61 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="ignore --cache-dir (run everything fresh, store nothing)",
     )
+    parser.add_argument(
+        "--campaign", default=None, metavar="NAME",
+        help="run the sweep as a durable campaign (jobs tracked in "
+        "--campaign-db, resumable with the same command after a kill)",
+    )
+    parser.add_argument(
+        "--campaign-db", default="campaigns.db", metavar="FILE",
+        help="SQLite campaign store used by --campaign (default: campaigns.db)",
+    )
 
 
-def _executor_from_args(args) -> ExperimentExecutor:
-    """Build the sweep executor the common flags describe."""
+def _campaign_runner(
+    store, name: str, jobs: int, cache_dir, journal=None,
+    backend=None, timeout_s=None, retries: int = 1, max_attempts: int = 3,
+):
+    """One place that maps CLI knobs onto a CampaignRunner."""
+    from pathlib import Path
+
+    from repro.service import CampaignRunner, InlineBackendConfig, PoolBackendConfig
+
+    if backend is None:
+        if jobs == 1:
+            backend = InlineBackendConfig(timeout_s=timeout_s, retries=retries)
+        else:
+            backend = PoolBackendConfig(jobs=jobs, timeout_s=timeout_s, retries=retries)
+    if journal is None:
+        journal = Path(str(store.path)).with_suffix(".journal.jsonl")
+    return CampaignRunner(
+        store,
+        name,
+        backend=backend,
+        cache_dir=cache_dir if cache_dir is not None else ".repro-cache",
+        journal=journal,
+        max_attempts=max_attempts,
+        progress=sys.stderr.isatty(),
+    )
+
+
+def _executor_from_args(args):
+    """Build the sweep executor (or campaign runner) the common flags describe.
+
+    With ``--campaign NAME`` the sweep routes through the campaign
+    service: jobs land in the SQLite store, results in the cache, and
+    killing the process mid-sweep loses nothing -- re-running the same
+    command resumes from where it stopped.
+    """
+    if getattr(args, "campaign", None):
+        from repro.service import CampaignStore
+
+        return _campaign_runner(
+            CampaignStore(args.campaign_db),
+            args.campaign,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
     return ExperimentExecutor(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -439,6 +500,167 @@ def cmd_wild(args) -> int:
     return 0
 
 
+def _campaign_sweep_specs(args) -> List:
+    """Shard the requested sweep into its independent job specs."""
+    from repro.experiments.grid import (
+        PAPER_WGET_GRID_MBPS,
+        streaming_grid_specs,
+        wget_matrix_specs,
+    )
+    from repro.experiments.wild import WildStreamingSpec, wild_streaming_configs
+
+    if args.sweep == "grid":
+        wifi = args.wifi_grid or list(PAPER_BANDWIDTH_GRID_MBPS)
+        lte = args.lte_grid or list(PAPER_BANDWIDTH_GRID_MBPS)
+        specs: List = []
+        for name in args.scheduler:
+            base = StreamingRunConfig(
+                scheduler=name, video_duration=args.video, seed=args.seed
+            )
+            specs.extend(
+                spec
+                for _, spec in streaming_grid_specs(base, wifi, lte, args.runs_per_cell)
+            )
+        return specs
+    if args.sweep == "wget":
+        wifi = args.wifi_grid or list(PAPER_WGET_GRID_MBPS)
+        lte = args.lte_grid or list(PAPER_WGET_GRID_MBPS)
+        return [
+            spec
+            for _, spec in wget_matrix_specs(
+                args.scheduler, args.size, wifi, lte, args.seed
+            )
+        ]
+    if args.sweep == "wild":
+        return wild_streaming_configs(
+            WildStreamingSpec(
+                schedulers=tuple(args.scheduler),
+                runs=args.runs,
+                video_duration=args.video,
+                base_seed=args.seed,
+            )
+        )
+    raise ValueError(f"unknown sweep {args.sweep!r}")
+
+
+def _print_campaign_counts(name: str, counts: dict) -> None:
+    total = sum(counts.values())
+    states = " ".join(f"{state}={counts[state]}" for state in sorted(counts))
+    print(f"campaign {name}: {total} job(s)  {states}")
+
+
+def cmd_campaign_submit(args) -> int:
+    from repro.service import CampaignStore
+
+    specs = _campaign_sweep_specs(args)
+    store = CampaignStore(args.db)
+    runner = _campaign_runner(
+        store, args.name, jobs=args.jobs, cache_dir=args.cache_dir,
+        timeout_s=args.timeout, retries=args.retries,
+        max_attempts=args.max_attempts,
+    )
+    added = runner.submit(specs)
+    print(f"campaign {args.name}: {added} new job(s) of {len(specs)} submitted")
+    if args.no_run:
+        _print_campaign_counts(args.name, runner.status())
+        return 0
+    counts = runner.drain()
+    _print_campaign_counts(args.name, counts)
+    return 0 if counts.get("failed", 0) == 0 else 1
+
+
+def cmd_campaign_status(args) -> int:
+    from repro.service import CampaignStore
+
+    with CampaignStore(args.db) as store:
+        campaign = store.campaign(args.name)
+        if campaign is None:
+            known = ", ".join(row.name for row in store.campaigns()) or "(none)"
+            print(f"no campaign {args.name!r} in {args.db}; known: {known}",
+                  file=sys.stderr)
+            return 1
+        counts = store.counts(campaign.id)
+        _print_campaign_counts(args.name, counts)
+        for job in store.jobs(campaign.id, status="failed"):
+            line = (
+                f"  failed {job.spec_hash[:12]} ({job.kind}, "
+                f"attempt {job.attempts}): {job.error_type}: {job.error_message}"
+            )
+            if job.postmortem:
+                line += f"  [postmortem: {job.postmortem}]"
+            print(line)
+    return 0
+
+
+def cmd_campaign_fetch(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.exec import ResultCache
+    from repro.service import CampaignStore
+
+    with CampaignStore(args.db) as store:
+        campaign = store.campaign(args.name)
+        if campaign is None:
+            print(f"no campaign {args.name!r} in {args.db}", file=sys.stderr)
+            return 1
+        cache_dir = args.cache_dir or campaign.cache_dir
+        if cache_dir is None:
+            print("campaign has no cache dir on record; pass --cache-dir",
+                  file=sys.stderr)
+            return 1
+        cache = ResultCache(cache_dir)
+        jobs = store.jobs(campaign.id)
+        lines = []
+        missing = 0
+        for job in jobs:
+            if job.status != "done":
+                missing += 1
+                continue
+            entry = cache.get(job.spec_hash)
+            if entry is None:
+                missing += 1
+                continue
+            lines.append(json.dumps(
+                {"spec_hash": job.spec_hash, "kind": job.kind,
+                 "result": entry["result"]},
+                sort_keys=True,
+            ))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.output).write_text(text)
+        print(f"wrote {len(lines)} result(s) to {args.output}")
+    if missing:
+        print(f"{missing} job(s) not fetchable (not done or cache entry gone)",
+              file=sys.stderr)
+    return 0 if missing == 0 else 1
+
+
+def cmd_campaign_retry(args) -> int:
+    from repro.service import CampaignStore
+
+    store = CampaignStore(args.db)
+    campaign = store.campaign(args.name)
+    if campaign is None:
+        print(f"no campaign {args.name!r} in {args.db}", file=sys.stderr)
+        return 1
+    runner = _campaign_runner(
+        store, args.name, jobs=args.jobs,
+        cache_dir=args.cache_dir or campaign.cache_dir,
+        max_attempts=args.max_attempts,
+    )
+    requeued = runner.requeue()
+    print(f"campaign {args.name}: {requeued} job(s) requeued")
+    if args.no_run:
+        _print_campaign_counts(args.name, runner.status())
+        return 0
+    counts = runner.drain()
+    _print_campaign_counts(args.name, counts)
+    return 0 if counts.get("failed", 0) == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="ECF (CoNEXT'17) reproduction experiments"
@@ -464,7 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_web)
 
     p = sub.add_parser("grid", help="6x6 bandwidth-grid heat map")
-    p.add_argument("--scheduler", default="ecf", choices=SCHEDULER_NAMES)
+    p.add_argument("--scheduler", default="ecf", choices=_scheduler_choices())
     p.add_argument("--video", type=float, default=60.0)
     p.add_argument("--seed", type=int, default=0)
     _add_executor_flags(p)
@@ -481,6 +703,101 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_flag(p)
     _add_obs_flags(p)
     p.set_defaults(func=cmd_wild)
+
+    p = sub.add_parser(
+        "campaign",
+        help="durable sweep campaigns: SQLite job store + cached results "
+        "(see repro.service)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(cp, jobs_help: str) -> None:
+        cp.add_argument("name", help="campaign name (reopening resumes it)")
+        cp.add_argument(
+            "--db", default="campaigns.db", metavar="FILE",
+            help="SQLite campaign store (default: campaigns.db)",
+        )
+        cp.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="content-addressed result cache (default: .repro-cache, "
+            "or the campaign's recorded cache)",
+        )
+        cp.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help=jobs_help)
+        cp.add_argument(
+            "--max-attempts", type=_positive_int, default=3, metavar="N",
+            help="per-job attempt budget enforced on requeue (default: 3)",
+        )
+
+    cp = campaign_sub.add_parser(
+        "submit", help="shard a sweep into jobs and (by default) drain them"
+    )
+    _campaign_common(cp, "worker processes for the drain (default: 1, inline)")
+    cp.add_argument(
+        "--sweep", choices=("grid", "wget", "wild"), default="grid",
+        help="which sweep to shard into jobs (default: grid)",
+    )
+    cp.add_argument(
+        "--scheduler", nargs="+", default=["ecf"],
+        choices=_scheduler_choices(fixtures=True),
+        help="scheduler(s) to sweep",
+    )
+    cp.add_argument("--video", type=float, default=30.0,
+                    help="video seconds (grid/wild sweeps)")
+    cp.add_argument(
+        "--wifi-grid", nargs="+", type=float, default=None, metavar="MBPS",
+        help="WiFi bandwidth values (default: the paper's grid)",
+    )
+    cp.add_argument(
+        "--lte-grid", nargs="+", type=float, default=None, metavar="MBPS",
+        help="LTE bandwidth values (default: the paper's grid)",
+    )
+    cp.add_argument("--runs-per-cell", type=_positive_int, default=1,
+                    help="seeds per grid cell (default: 1)")
+    cp.add_argument(
+        "--size", type=parse_size, nargs="+", default=[parse_size("512k")],
+        help="object sizes for the wget sweep",
+    )
+    cp.add_argument("--runs", type=_positive_int, default=9,
+                    help="wild-sweep run count (default: 9)")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="per-run wall-clock budget")
+    cp.add_argument("--retries", type=int, default=1,
+                    help="in-drain retries for a timed-out run (default: 1)")
+    cp.add_argument(
+        "--no-run", action="store_true",
+        help="only register jobs; drain later by re-running submit (or retry)",
+    )
+    cp.set_defaults(func=cmd_campaign_submit)
+
+    cp = campaign_sub.add_parser(
+        "status", help="per-state job counts and failed-job details"
+    )
+    cp.add_argument("name")
+    cp.add_argument("--db", default="campaigns.db", metavar="FILE")
+    cp.set_defaults(func=cmd_campaign_status)
+
+    cp = campaign_sub.add_parser(
+        "fetch", help="export the finished results as JSON lines"
+    )
+    cp.add_argument("name")
+    cp.add_argument("--db", default="campaigns.db", metavar="FILE")
+    cp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="override the campaign's recorded cache dir")
+    cp.add_argument("-o", "--output", default="-",
+                    help="output file ('-' = stdout)")
+    cp.set_defaults(func=cmd_campaign_fetch)
+
+    cp = campaign_sub.add_parser(
+        "retry", help="requeue failed jobs (attempt-capped) and drain again"
+    )
+    _campaign_common(cp, "worker processes for the retry drain (default: 1)")
+    cp.add_argument(
+        "--no-run", action="store_true",
+        help="only requeue; drain later via submit/retry",
+    )
+    cp.set_defaults(func=cmd_campaign_retry)
 
     p = sub.add_parser(
         "bench",
@@ -520,7 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--scheduler", nargs="+", default=["ecf", "minrtt"],
-        choices=SCHEDULER_NAMES + FIXTURE_SCHEDULERS,
+        choices=_scheduler_choices(fixtures=True),
         help="scheduler(s) to check (fixture names like ecf-nowait run the "
         "seeded-violation variants)",
     )

@@ -24,7 +24,8 @@ from repro.core.extras import (
     RedundantScheduler,
     RoundRobinScheduler,
 )
-from repro.core.registry import SCHEDULER_NAMES, make_scheduler
+from repro.core.registry import SCHEDULER_NAMES, make_scheduler, registered_schedulers
+from repro.core.spec import CcSpec, SchedulerSpec, build
 
 __all__ = [
     "Scheduler",
@@ -35,6 +36,10 @@ __all__ = [
     "RoundRobinScheduler",
     "RedundantScheduler",
     "PrimaryOnlyScheduler",
+    "SchedulerSpec",
+    "CcSpec",
+    "build",
     "make_scheduler",
     "SCHEDULER_NAMES",
+    "registered_schedulers",
 ]

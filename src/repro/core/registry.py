@@ -6,7 +6,8 @@ schedule), so the registry always returns a *new* instance.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+import warnings
+from typing import Any, Callable, Dict, FrozenSet
 
 from repro.core.base import Scheduler
 from repro.core.blest import BlestScheduler
@@ -69,21 +70,36 @@ SCHEDULER_NAMES = (
 )
 
 
+def registered_schedulers() -> FrozenSet[str]:
+    """Every name ``build(SchedulerSpec.of(name))`` resolves.
+
+    Includes the seeded-violation fixture names; ``SCHEDULER_NAMES`` is
+    the user-facing subset sweeps enumerate.
+    """
+    return frozenset(_FACTORIES)
+
+
 def make_scheduler(name: str, **params: Any) -> Scheduler:
     """Build a new scheduler by name.
 
-    ``params`` are passed to the scheduler constructor (e.g.
-    ``make_scheduler("ecf", beta=0.5)``).
+    .. deprecated:: 1.1
+        Construct from a spec instead:
+        ``build(SchedulerSpec.of(name, **params))``
+        (:mod:`repro.core.spec`).  Specs are plain values, so they
+        serialize into experiment specs and the campaign store; a bare
+        ``(name, **params)`` call site does not.
 
     Raises
     ------
     ValueError
         For an unknown scheduler name.
     """
-    try:
-        factory = _FACTORIES[name.lower()]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {name!r}; choose from {sorted(set(_FACTORIES))}"
-        ) from None
-    return factory(**params)
+    warnings.warn(
+        "make_scheduler(name, **params) is deprecated; use "
+        "build(SchedulerSpec.of(name, **params)) from repro.core.spec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.core.spec import SchedulerSpec, build
+
+    return build(SchedulerSpec.of(name, **params))

@@ -1,0 +1,157 @@
+"""Config-first construction: frozen specs in, live objects out.
+
+The repo-wide construction idiom (see ``docs/api.md``): anything that
+used to be built by a ``make_*(name, **params)`` factory call is instead
+described by a small frozen spec dataclass and realized through a single
+:func:`build` entry point::
+
+    from repro.core.spec import SchedulerSpec, build
+
+    scheduler = build(SchedulerSpec.of("ecf", beta=0.5))
+
+The spec is a plain value -- JSON-serializable, hashable, comparable --
+so it can ride inside experiment specs, cross a process-pool boundary,
+key the result cache, and be stored in the campaign database
+(:mod:`repro.service.store`), none of which a live scheduler object can
+do.  :func:`build` dispatches on the spec type:
+
+=====================================================  ====================
+spec                                                   built object
+=====================================================  ====================
+:class:`SchedulerSpec`                                 :class:`~repro.core.base.Scheduler`
+:class:`CcSpec`                                        :class:`~repro.tcp.cc.CongestionController`
+:class:`~repro.net.bandwidth.BandwidthSpec`            a bandwidth process
+backend configs (:mod:`repro.service.backends`)        an execution backend
+=====================================================  ====================
+
+Like every registry here, :func:`build` always returns a *fresh*
+instance: schedulers and controllers carry per-connection state.
+
+``make_scheduler(name, **params)`` remains as a thin deprecated shim
+over ``build(SchedulerSpec.of(name, **params))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.core.base import Scheduler
+from repro.core import registry as _registry
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize parameter values so equal specs compare (and hash) equal.
+
+    Lists become tuples (recursively); everything else passes through.
+    This keeps a spec reconstructed from JSON equal to the original --
+    the same rule :class:`~repro.net.bandwidth.BandwidthSpec` applies.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class _KindSpec:
+    """Shared shape of a named-kind construction spec.
+
+    ``params`` is stored canonically as a sorted tuple of ``(key, value)``
+    pairs with nested sequences tupled, so two specs describing the same
+    object are equal regardless of construction order or a JSON round
+    trip.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "Any":
+        """Build a spec from keyword parameters."""
+        items = tuple(sorted((k, _canonical(v)) for k, v in params.items()))
+        return cls(kind=kind, params=items)
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (tuples degrade to lists in JSON)."""
+        return {"kind": self.kind, "params": self.param_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Any":
+        return cls.of(data["kind"], **dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class SchedulerSpec(_KindSpec):
+    """A named, serializable description of a path scheduler.
+
+    ``kind`` resolves against the scheduler registry
+    (:func:`repro.core.registry.registered_schedulers`); ``params`` are
+    constructor keywords, e.g. ``SchedulerSpec.of("ecf", beta=0.5)``.
+    """
+
+
+@dataclass(frozen=True)
+class CcSpec(_KindSpec):
+    """A named, serializable description of a congestion controller.
+
+    ``kind`` resolves against :func:`repro.tcp.cc.registered_controllers`
+    (``"reno"``, ``"coupled"``/``"lia"``, ``"olia"``, ``"cubic"``).
+    """
+
+
+def _build_scheduler(spec: SchedulerSpec) -> Scheduler:
+    try:
+        factory = _registry._FACTORIES[spec.kind.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {spec.kind!r}; "
+            f"choose from {sorted(_registry.registered_schedulers())}"
+        ) from None
+    return factory(**spec.param_dict())
+
+
+def _build_controller(spec: CcSpec) -> Any:
+    # Imported lazily: repro.core must not depend on repro.tcp at import
+    # time (the dependency runs the other way for event emission).
+    from repro.tcp.cc import build_controller
+
+    return build_controller(spec.kind, **spec.param_dict())
+
+
+def build(config: Any) -> Any:
+    """The single config-first entry point: a frozen spec in, a live object out.
+
+    Dispatches on the spec type -- :class:`SchedulerSpec`,
+    :class:`CcSpec`, :class:`~repro.net.bandwidth.BandwidthSpec`, or any
+    registered backend config from :mod:`repro.service.backends`.
+    Always returns a fresh instance.
+
+    Raises
+    ------
+    ValueError
+        For a spec whose ``kind`` its registry does not resolve.
+    TypeError
+        For an object that is not a recognized construction spec.
+    """
+    if isinstance(config, SchedulerSpec):
+        return _build_scheduler(config)
+    if isinstance(config, CcSpec):
+        return _build_controller(config)
+    # The remaining spec families live in heavier modules; import them
+    # only when such a config actually shows up.
+    from repro.net.bandwidth import BandwidthSpec, make_bandwidth_process
+
+    if isinstance(config, BandwidthSpec):
+        return make_bandwidth_process(config)
+    from repro.service import backends as _backends
+
+    kind = getattr(config, "kind", None)
+    if isinstance(kind, str) and kind in _backends.registered_backend_kinds():
+        return _backends.build(config)
+    raise TypeError(
+        f"cannot build a {type(config).__name__}; expected SchedulerSpec, "
+        f"CcSpec, BandwidthSpec, or a registered backend config"
+    )

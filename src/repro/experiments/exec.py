@@ -92,6 +92,44 @@ class ExecutorStats:
 
 
 @dataclass(frozen=True)
+class JobOutcome:
+    """Terminal fate of one spec in a batch, as seen by ``on_job``.
+
+    Emitted exactly once per spec -- when it resolves from cache, when it
+    finishes executing, or when it fails permanently.  ``index`` is the
+    spec's position in the submitted batch; ``status`` is ``"cached"``,
+    ``"executed"``, or ``"failed"``.  The campaign runner
+    (:mod:`repro.service.runner`) uses this callback to move jobs through
+    the store's state machine as the batch unfolds.
+    """
+
+    index: int
+    spec_hash: str
+    kind: str
+    status: str
+    wall_s: float
+    attempts: int
+    error: Optional[Dict[str, str]] = None
+    postmortem: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Placeholder result for a permanently failed spec under ``keep_going``.
+
+    Occupies the failed spec's slot in the results list so positions
+    still line up with the submitted batch.  Never cached, never
+    journaled as a result -- it only exists in memory, in this batch.
+    """
+
+    spec_hash: str
+    kind: str
+    error_type: str
+    error_message: str
+    postmortem: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class ProgressEvent:
     """One progress tick, emitted after every completed (or failed) run."""
 
@@ -275,6 +313,14 @@ class ExperimentExecutor:
         one to, or ``None``.  With ``None`` and ``REPRO_OBS`` set, a
         journal is opened at ``<obs_dir>/journal.jsonl`` automatically,
         so every observed sweep leaves a per-job record behind.
+    keep_going: with ``True``, a permanently failed spec no longer
+        aborts the batch: its slot in the results list holds a
+        :class:`FailedRun` and the remaining specs keep running.  The
+        default (``False``) preserves the original fail-fast contract.
+    on_job: callable receiving a :class:`JobOutcome` for every spec that
+        reaches a terminal state (cached / executed / failed), in
+        completion order.  This is the hook the campaign runner uses to
+        persist per-job state without wrapping the executor.
     """
 
     def __init__(
@@ -286,6 +332,8 @@ class ExperimentExecutor:
         retries: int = 1,
         progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
         journal: Union[None, RunJournal, PathLike] = None,
+        keep_going: bool = False,
+        on_job: Optional[Callable[[JobOutcome], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
@@ -309,6 +357,8 @@ class ExperimentExecutor:
             self.journal: Optional[RunJournal] = journal
         else:
             self.journal = RunJournal(journal)
+        self.keep_going = bool(keep_going)
+        self.on_job = on_job
         self.stats = ExecutorStats()
 
     # -- context manager sugar (no persistent resources today) ----------
@@ -372,6 +422,10 @@ class ExperimentExecutor:
             if self.journal is not None:
                 self.journal.job(**fields)
 
+        def emit(outcome: JobOutcome) -> None:
+            if self.on_job is not None:
+                self.on_job(outcome)
+
         pending: List[int] = []
         for index, spec in enumerate(specs):
             entry = self.cache.get(hashes[index]) if self.cache else None
@@ -385,6 +439,16 @@ class ExperimentExecutor:
                     status="cached",
                     wall_s=0.0,
                     attempts=0,
+                )
+                emit(
+                    JobOutcome(
+                        index=index,
+                        spec_hash=hashes[index],
+                        kind=spec.kind,
+                        status="cached",
+                        wall_s=0.0,
+                        attempts=0,
+                    )
                 )
                 report()
             else:
@@ -421,10 +485,22 @@ class ExperimentExecutor:
                 wall_s=round(wall_s, 6),
                 attempts=attempts,
             )
+            emit(
+                JobOutcome(
+                    index=index,
+                    spec_hash=hashes[index],
+                    kind=spec.kind,
+                    status="executed",
+                    wall_s=round(wall_s, 6),
+                    attempts=attempts,
+                )
+            )
             report()
 
         def fail(index: int, exc: BaseException, wall_s: float, attempts: int) -> None:
-            # Accounting for a permanently failed job; the caller raises.
+            # Accounting for a permanently failed job; the caller raises
+            # (fail-fast) or moves on (keep_going).
+            nonlocal done
             self.stats.failed += 1
             postmortem: Optional[str] = None
             if obs_flight.obs_enabled():
@@ -434,14 +510,36 @@ class ExperimentExecutor:
                 bundle = obs_flight.postmortem_dir_for(hashes[index])
                 if bundle.exists():
                     postmortem = str(bundle)
+            error = {"type": type(exc).__name__, "message": str(exc)}
+            if self.keep_going:
+                results[index] = FailedRun(
+                    spec_hash=hashes[index],
+                    kind=specs[index].kind,
+                    error_type=error["type"],
+                    error_message=error["message"],
+                    postmortem=postmortem,
+                )
+                done += 1
             journal_job(
                 spec_hash=hashes[index],
                 kind=specs[index].kind,
                 status="failed",
                 wall_s=round(wall_s, 6),
                 attempts=attempts,
-                error={"type": type(exc).__name__, "message": str(exc)},
+                error=error,
                 postmortem=postmortem,
+            )
+            emit(
+                JobOutcome(
+                    index=index,
+                    spec_hash=hashes[index],
+                    kind=specs[index].kind,
+                    status="failed",
+                    wall_s=round(wall_s, 6),
+                    attempts=attempts,
+                    error=error,
+                    postmortem=postmortem,
+                )
             )
             report()
 
@@ -450,12 +548,11 @@ class ExperimentExecutor:
                 payloads = {index: spec_to_dict(specs[index]) for index in pending}
                 if self.jobs == 1 or len(pending) == 1:
                     for index in pending:
-                        finalize(
-                            index,
-                            *self._run_with_retry_inline(
-                                index, hashes[index], payloads[index], fail
-                            ),
+                        outcome = self._run_with_retry_inline(
+                            index, hashes[index], payloads[index], fail
                         )
+                        if outcome is not None:
+                            finalize(index, *outcome)
                 else:
                     self._run_on_pool(pending, hashes, payloads, finalize, fail)
         finally:
@@ -481,10 +578,12 @@ class ExperimentExecutor:
         key: str,
         payload: Dict[str, Any],
         fail: Callable[[int, BaseException, float, int], None],
-    ) -> Tuple[Dict[str, Any], float, int]:
+    ) -> Optional[Tuple[Dict[str, Any], float, int]]:
         """Returns ``(result_dict, wall_s, attempts)`` or raises.
 
         ``wall_s`` brackets all attempts of this job, timed parent-side.
+        Under ``keep_going`` a permanent failure returns ``None`` instead
+        of raising (``fail`` has already recorded it).
         """
         start = time.monotonic()  # repro: noqa[RPR101]
         for attempt in range(self.retries + 1):
@@ -494,6 +593,8 @@ class ExperimentExecutor:
                 wall = time.monotonic() - start  # repro: noqa[RPR101]
                 if attempt == self.retries:
                     fail(index, exc, wall, attempt + 1)
+                    if self.keep_going:
+                        return None
                     raise ExperimentError(
                         f"{payload['kind']} run failed after "
                         f"{self.retries + 1} attempts: {exc}"
@@ -508,6 +609,8 @@ class ExperimentExecutor:
                 # crashes) are permanent: journal them, then propagate the
                 # original exception unwrapped, as before.
                 fail(index, exc, time.monotonic() - start, attempt + 1)  # repro: noqa[RPR101]
+                if self.keep_going:
+                    return None
                 raise
             else:
                 wall = time.monotonic() - start  # repro: noqa[RPR101]
@@ -550,6 +653,9 @@ class ExperimentExecutor:
                         result_dict = future.result()
                     except RunTimeoutError as exc:
                         if attempts[index] > self.retries:
+                            if self.keep_going:
+                                fail(index, exc, wall, attempts[index])
+                                continue
                             for other in futures:
                                 other.cancel()
                             fail(index, exc, wall, attempts[index])
@@ -566,6 +672,9 @@ class ExperimentExecutor:
                             )
                         submit(index)
                     except Exception as exc:
+                        if self.keep_going:
+                            fail(index, exc, wall, attempts[index])
+                            continue
                         for other in futures:
                             other.cancel()
                         fail(index, exc, wall, attempts[index])
@@ -583,6 +692,8 @@ def run_specs(
     retries: int = 1,
     progress: Union[bool, Callable[[ProgressEvent], None], None] = None,
     journal: Union[None, RunJournal, PathLike] = None,
+    keep_going: bool = False,
+    on_job: Optional[Callable[[JobOutcome], None]] = None,
 ) -> List[Any]:
     """One-shot convenience wrapper around :class:`ExperimentExecutor`."""
     with ExperimentExecutor(
@@ -593,5 +704,7 @@ def run_specs(
         retries=retries,
         progress=progress,
         journal=journal,
+        keep_going=keep_going,
+        on_job=on_job,
     ) as executor:
         return executor.run(specs)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Tuple
 
-from repro.core.registry import make_scheduler
+from repro.core.spec import SchedulerSpec, build
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.profiles import lte_config, make_path, wifi_config
 from repro.sim.engine import Simulator
@@ -58,7 +58,7 @@ def _timed_transfer(scheduler: str, configs, nbytes: int, cc: str = "coupled") -
     sim = Simulator()
     paths = [make_path(sim, pc) for pc in configs]
     conn = MptcpConnection(
-        sim, paths, make_scheduler(scheduler),
+        sim, paths, build(SchedulerSpec.of(scheduler)),
         config=ConnectionConfig(handshake_delays=False, congestion_control=cc),
     )
     conn.write(nbytes)

@@ -94,6 +94,35 @@ def streaming_grid(
     return results
 
 
+def wget_matrix_specs(
+    schedulers: Sequence[str],
+    sizes: Sequence[int],
+    wifi_values_mbps: Sequence[float] = PAPER_WGET_GRID_MBPS,
+    lte_values_mbps: Sequence[float] = PAPER_WGET_GRID_MBPS,
+    seed: int = 0,
+) -> List[Tuple[WgetCell, BulkDownloadSpec]]:
+    """The (cell, spec) list a wget sweep executes, in deterministic order."""
+    coords: List[WgetCell] = [
+        (size, wifi, lte, scheduler)
+        for size in sizes
+        for wifi in wifi_values_mbps
+        for lte in lte_values_mbps
+        for scheduler in schedulers
+    ]
+    return [
+        (
+            (size, wifi, lte, scheduler),
+            BulkDownloadSpec(
+                scheduler=scheduler,
+                path_configs=(wifi_config(wifi), lte_config(lte)),
+                size=size,
+                seed=seed,
+            ),
+        )
+        for (size, wifi, lte, scheduler) in coords
+    ]
+
+
 def wget_matrix(
     schedulers: Sequence[str],
     sizes: Sequence[int],
@@ -108,22 +137,11 @@ def wget_matrix(
     Fig 19 takes the ECF/default completion-time ratio).  Returns
     ``(size, wifi_mbps, lte_mbps, scheduler) -> BulkDownloadResult``.
     """
-    coords: List[WgetCell] = [
-        (size, wifi, lte, scheduler)
-        for size in sizes
-        for wifi in wifi_values_mbps
-        for lte in lte_values_mbps
-        for scheduler in schedulers
-    ]
-    specs = [
-        BulkDownloadSpec(
-            scheduler=scheduler,
-            path_configs=(wifi_config(wifi), lte_config(lte)),
-            size=size,
-            seed=seed,
-        )
-        for (size, wifi, lte, scheduler) in coords
-    ]
+    cells_and_specs = wget_matrix_specs(
+        schedulers, sizes, wifi_values_mbps, lte_values_mbps, seed
+    )
+    coords = [cell for cell, _ in cells_and_specs]
+    specs = [spec for _, spec in cells_and_specs]
     if executor is None:
         executor = ExperimentExecutor()
     return dict(zip(coords, executor.run(specs)))

@@ -22,7 +22,7 @@ from repro.apps.dash.abr import make_abr
 from repro.apps.dash.media import VideoManifest
 from repro.apps.dash.player import DashPlayer, StreamingMetrics
 from repro.apps.http import HttpSession
-from repro.core.registry import make_scheduler
+from repro.core.spec import SchedulerSpec, build
 from repro.metrics.collectors import PeriodicSampler
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.bandwidth import BandwidthSpec, make_bandwidth_process
@@ -261,7 +261,7 @@ def run_streaming(config: StreamingRunConfig) -> StreamingRunResult:
         penalization_enabled=config.penalization_enabled,
         record_delays=config.record_delays,
     )
-    scheduler = make_scheduler(config.scheduler, **config.scheduler_params)
+    scheduler = build(SchedulerSpec.of(config.scheduler, **config.scheduler_params))
     conn = MptcpConnection(sim, paths, scheduler, config=conn_config, name="dash")
     session = HttpSession(sim, conn)
     manifest = VideoManifest(

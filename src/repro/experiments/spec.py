@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Mapping, Protocol, runtime_checkable
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Protocol, runtime_checkable
 
 #: Version of the spec/result wire format.  Bump when a serialized field
 #: changes meaning; the cache treats entries from other versions as misses.
@@ -91,6 +91,12 @@ def _ensure_builtin_kinds() -> None:
     import repro.apps.bulk  # noqa: F401
     import repro.experiments.runner  # noqa: F401
     import repro.workloads.web  # noqa: F401
+
+
+def registered_experiment_kinds() -> FrozenSet[str]:
+    """Every kind :func:`run_spec` dispatches (built-ins imported first)."""
+    _ensure_builtin_kinds()
+    return frozenset(_KINDS)
 
 
 def experiment_kind(kind: str) -> ExperimentKind:

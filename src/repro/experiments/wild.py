@@ -132,18 +132,14 @@ class WildStreamingResult:
         )
 
 
-def run_wild(
+def _wild_cells(
     spec: WildStreamingSpec,
-    executor: Optional[ExperimentExecutor] = None,
-) -> WildStreamingResult:
-    """Fig 22: per-run RTT and streaming throughput, Default vs ECF.
-
-    Runs are sorted by the drawn WiFi RTT, as the paper sorts its x-axis.
-    Every (run, scheduler) cell is an independent streaming spec with a
-    deterministic seed (``base_seed + sorted run index``, shared across
-    schedulers so each scheduler sees identical conditions), submitted
-    through ``executor`` -- or run serially when none is given.
-    """
+) -> Tuple[
+    List[Tuple[PathConfig, PathConfig]],
+    List[Tuple[int, str]],
+    List[StreamingRunConfig],
+]:
+    """``(drawn path pairs, (run, scheduler) cells, streaming specs)``."""
     drawn = sorted(
         (wild_path_pair(i, spec.base_seed) for i in range(spec.runs)),
         key=lambda pair: pair[0].one_way_delay,
@@ -161,6 +157,33 @@ def run_wild(
                     seed=spec.base_seed + index,
                 )
             )
+    return drawn, cells, configs
+
+
+def wild_streaming_configs(spec: WildStreamingSpec) -> List[StreamingRunConfig]:
+    """The independent streaming specs one wild campaign executes.
+
+    Deterministic in ``spec`` alone, so the same campaign can be sharded
+    into jobs (``repro.cli campaign submit --sweep wild``) and later
+    re-assembled by :func:`run_wild` from cached results.
+    """
+    _, _, configs = _wild_cells(spec)
+    return configs
+
+
+def run_wild(
+    spec: WildStreamingSpec,
+    executor: Optional[ExperimentExecutor] = None,
+) -> WildStreamingResult:
+    """Fig 22: per-run RTT and streaming throughput, Default vs ECF.
+
+    Runs are sorted by the drawn WiFi RTT, as the paper sorts its x-axis.
+    Every (run, scheduler) cell is an independent streaming spec with a
+    deterministic seed (``base_seed + sorted run index``, shared across
+    schedulers so each scheduler sees identical conditions), submitted
+    through ``executor`` -- or run serially when none is given.
+    """
+    drawn, cells, configs = _wild_cells(spec)
     if executor is None:
         executor = ExperimentExecutor()
     run_results = executor.run(configs)

@@ -36,7 +36,6 @@ from repro.net.packet import MSS, Packet
 from repro.net.path import Path
 from repro.mptcp.receiver import MptcpReceiver
 from repro.sim.engine import Simulator
-from repro.tcp.cc import make_controller
 from repro.tcp.cc.base import CongestionController
 from repro.tcp.subflow import Subflow
 
@@ -107,7 +106,11 @@ class MptcpConnection:
         self.scheduler = scheduler
         self.name = name
 
-        self.cc: CongestionController = make_controller(self.config.congestion_control)
+        from repro.core.spec import CcSpec, build
+
+        self.cc: CongestionController = build(
+            CcSpec.of(self.config.congestion_control)
+        )
         self.receiver = MptcpReceiver(
             sim,
             recv_buffer_bytes=self.config.recv_buffer_bytes,

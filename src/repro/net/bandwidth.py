@@ -213,6 +213,16 @@ _BANDWIDTH_FACTORIES: Dict[str, Callable[..., Any]] = {
 BANDWIDTH_PROCESS_KINDS = tuple(sorted(_BANDWIDTH_FACTORIES))
 
 
+def registered_bandwidth_kinds() -> frozenset:
+    """Every kind ``make_bandwidth_process`` resolves, extensions included.
+
+    Unlike :data:`BANDWIDTH_PROCESS_KINDS` (frozen at import time), this
+    reflects :func:`register_bandwidth_process` calls, so registry-aware
+    tooling (``repro.analysis.lint``) sees custom kinds.
+    """
+    return frozenset(_BANDWIDTH_FACTORIES)
+
+
 def register_bandwidth_process(kind: str, factory: Callable[..., Any]) -> None:
     """Register a custom process kind for spec-based construction.
 

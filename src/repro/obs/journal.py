@@ -39,17 +39,29 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 
 class RunJournal:
-    """Append-only JSONL journal of one or more executor batches."""
+    """Append-only JSONL journal of one or more executor batches.
 
-    def __init__(self, path: PathLike) -> None:
+    ``observer``, when given, is invoked with every record dict right
+    after it is written.  The campaign store uses this to index journal
+    records against their campaign without the executor knowing the
+    store exists; observer failures propagate (a campaign that cannot
+    index its journal should say so loudly, not drop records silently).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        observer: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.observer = observer
         self._seq = 0
 
     def record(self, record_type: str, **fields: Any) -> Dict[str, Any]:
@@ -65,6 +77,8 @@ class RunJournal:
         entry.update(fields)
         with self.path.open("a") as handle:
             handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        if self.observer is not None:
+            self.observer(entry)
         return entry
 
     # -- typed conveniences (thin wrappers; schema lives in the docstring)

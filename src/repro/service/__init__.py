@@ -1,0 +1,44 @@
+"""Simulation-as-a-service: durable, resumable sweep campaigns.
+
+The service layer promotes :class:`~repro.experiments.exec.ExperimentExecutor`
+from a per-process pool into a campaign service:
+
+* :mod:`repro.service.store` -- a SQLite-backed store of campaigns and
+  jobs (keyed by spec hash, moving pending -> running -> done/failed,
+  with journal and postmortem indexes);
+* :mod:`repro.service.backends` -- execution backends built config-first
+  from frozen ``*BackendConfig`` dataclasses through ``build()``;
+* :mod:`repro.service.runner` -- the submit / drain / requeue / fetch
+  loop, also usable as an executor drop-in for the grid sweeps.
+
+See ``docs/api.md`` for the config-first idiom and
+``repro.cli campaign`` for the command-line surface.
+"""
+
+from repro.service.backends import (
+    ExecutorBackend,
+    InlineBackendConfig,
+    PoolBackendConfig,
+    backend_config_from_dict,
+    build,
+    register_backend,
+    registered_backend_kinds,
+)
+from repro.service.runner import CampaignError, CampaignRunner
+from repro.service.store import CampaignRow, CampaignStore, JobRow, TransitionError
+
+__all__ = [
+    "CampaignStore",
+    "CampaignRunner",
+    "CampaignError",
+    "CampaignRow",
+    "JobRow",
+    "TransitionError",
+    "InlineBackendConfig",
+    "PoolBackendConfig",
+    "ExecutorBackend",
+    "register_backend",
+    "registered_backend_kinds",
+    "backend_config_from_dict",
+    "build",
+]

@@ -1,0 +1,181 @@
+"""Execution backends, config-first: frozen configs in, live backends out.
+
+A *backend* is the thing that actually executes a batch of specs.  It is
+described by a small frozen config dataclass (a plain value that
+serializes into the campaign store) and realized through :func:`build`,
+mirroring the :class:`~repro.net.bandwidth.BandwidthSpec` registry
+idiom::
+
+    from repro.service.backends import PoolBackendConfig, build
+
+    backend = build(PoolBackendConfig(jobs=4, timeout_s=120.0))
+    results = backend.run(specs, cache_dir=".repro-cache")
+
+Two backends ship today -- ``inline`` (serial, in this process: the
+reference path and the debugger-friendly one) and ``pool`` (the process
+pool that :class:`~repro.experiments.exec.ExperimentExecutor` always
+had).  Both drive the same executor underneath, so cache, timeout,
+retry, journal, and ``on_job`` behavior are identical; the config just
+pins where the work runs.  Downstream forks register their own kinds
+(a cluster submitter, say) with :func:`register_backend` and campaigns
+stored with that kind rebuild through the same :func:`build` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.experiments.exec import ExperimentExecutor, JobOutcome
+
+
+@dataclass(frozen=True)
+class InlineBackendConfig:
+    """Serial execution in the submitting process (the reference path)."""
+
+    kind: ClassVar[str] = "inline"
+
+    timeout_s: Optional[float] = None
+    retries: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "timeout_s": self.timeout_s, "retries": self.retries}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InlineBackendConfig":
+        return cls(
+            timeout_s=data.get("timeout_s"),
+            retries=int(data.get("retries", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class PoolBackendConfig:
+    """Process-pool fan-out across ``jobs`` workers."""
+
+    kind: ClassVar[str] = "pool"
+
+    jobs: int = 2
+    timeout_s: Optional[float] = None
+    retries: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "jobs": self.jobs,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PoolBackendConfig":
+        return cls(
+            jobs=int(data.get("jobs", 2)),
+            timeout_s=data.get("timeout_s"),
+            retries=int(data.get("retries", 1)),
+        )
+
+
+class ExecutorBackend:
+    """Backend over :class:`~repro.experiments.exec.ExperimentExecutor`.
+
+    ``jobs=1`` is the inline backend; ``jobs>1`` the pool.  The batch
+    knobs that belong to the *campaign* rather than the backend (cache
+    location, journal, keep-going, the per-job callback) arrive per
+    ``run`` call.
+    """
+
+    def __init__(self, jobs: int, timeout_s: Optional[float], retries: int) -> None:
+        self.jobs = int(jobs)
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+
+    def run(
+        self,
+        specs: Sequence[Any],
+        cache_dir: Optional[str] = None,
+        journal: Any = None,
+        progress: Any = None,
+        keep_going: bool = False,
+        on_job: Optional[Callable[[JobOutcome], None]] = None,
+    ) -> List[Any]:
+        with ExperimentExecutor(
+            jobs=self.jobs,
+            cache_dir=cache_dir,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            progress=progress,
+            journal=journal,
+            keep_going=keep_going,
+            on_job=on_job,
+        ) as executor:
+            return executor.run(specs)
+
+
+_BackendFactory = Callable[[Any], Any]
+_ConfigParser = Callable[[Mapping[str, Any]], Any]
+
+_BACKENDS: Dict[str, _BackendFactory] = {}
+_CONFIG_PARSERS: Dict[str, _ConfigParser] = {}
+
+
+def register_backend(
+    kind: str, from_dict: _ConfigParser, factory: _BackendFactory
+) -> None:
+    """Register (or replace) a backend kind.
+
+    ``from_dict`` rebuilds the frozen config from its stored form;
+    ``factory`` turns a config into a live backend.
+    """
+    _CONFIG_PARSERS[kind] = from_dict
+    _BACKENDS[kind] = factory
+
+
+def registered_backend_kinds() -> FrozenSet[str]:
+    """Every kind :func:`build` can realize."""
+    return frozenset(_BACKENDS)
+
+
+def backend_config_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild a frozen backend config from its stored dict form."""
+    kind = data.get("kind")
+    if kind not in _CONFIG_PARSERS:
+        raise ValueError(
+            f"unknown backend kind {kind!r}; "
+            f"registered: {sorted(_CONFIG_PARSERS)}"
+        )
+    return _CONFIG_PARSERS[kind](data)
+
+
+def build(config: Any) -> Any:
+    """The config-first entry point: a frozen backend config in, a live
+    backend out.  Always returns a fresh instance."""
+    kind = getattr(config, "kind", None)
+    if not isinstance(kind, str) or kind not in _BACKENDS:
+        raise TypeError(
+            f"cannot build a backend from {type(config).__name__}; "
+            f"registered kinds: {sorted(_BACKENDS)}"
+        )
+    return _BACKENDS[kind](config)
+
+
+register_backend(
+    "inline",
+    InlineBackendConfig.from_dict,
+    lambda config: ExecutorBackend(1, config.timeout_s, config.retries),
+)
+register_backend(
+    "pool",
+    PoolBackendConfig.from_dict,
+    lambda config: ExecutorBackend(config.jobs, config.timeout_s, config.retries),
+)
+
+__all__ = [
+    "InlineBackendConfig",
+    "PoolBackendConfig",
+    "ExecutorBackend",
+    "register_backend",
+    "registered_backend_kinds",
+    "backend_config_from_dict",
+    "build",
+]

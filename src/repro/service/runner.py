@@ -1,0 +1,233 @@
+"""The campaign runner: submit, drain, requeue, fetch.
+
+:class:`CampaignRunner` ties the three service pieces together -- the
+SQLite :class:`~repro.service.store.CampaignStore`, a backend built from
+a frozen config (:mod:`repro.service.backends`), and the executor's
+cache/journal machinery -- into the submit/run/rerun loop every sweep
+needs::
+
+    from repro.service import CampaignRunner, CampaignStore, PoolBackendConfig
+
+    store = CampaignStore("campaigns.db")
+    runner = CampaignRunner(
+        store, "fig14", backend=PoolBackendConfig(jobs=4),
+        cache_dir=".repro-cache",
+    )
+    runner.submit(specs)          # idempotent: re-submitting is free
+    runner.drain()                # runs every pending job, keep-going
+    runner.requeue()              # failed jobs back to pending (capped)
+    results = runner.fetch(specs) # typed results, in your order
+
+The runner is also a drop-in for :class:`ExperimentExecutor` where only
+``run(specs)`` is used (``streaming_grid(executor=...)``,
+``wget_matrix(executor=...)``): ``run`` is submit + drain + fetch.
+
+Durability model: job state lives in SQLite, results live in the
+content-addressed cache.  A drain killed half-way leaves ``running``
+rows behind; the next drain calls ``reset_running`` and re-claims them,
+and jobs whose results already landed in the cache resolve as cache
+hits (journaled as ``"cached"`` -- that journal line is the proof a
+resume did not re-simulate).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.exec import FailedRun, JobOutcome, ResultCache
+from repro.experiments.spec import result_from_dict, spec_from_dict, spec_hash
+from repro.obs.journal import RunJournal
+from repro.service import backends as _backends
+from repro.service.store import DONE, PENDING, CampaignStore
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class CampaignError(RuntimeError):
+    """A fetch asked for results the campaign has not (successfully) run."""
+
+
+class CampaignRunner:
+    """Drive one named campaign through a configured backend.
+
+    Parameters
+    ----------
+    store: the campaign store (shared by any number of campaigns).
+    name: campaign name; reopening an existing name resumes it.
+    backend: a frozen backend config (``InlineBackendConfig`` /
+        ``PoolBackendConfig`` / any registered kind).  Omitted, the
+        campaign's stored config is used (resuming), falling back to
+        inline for a brand-new campaign.
+    cache_dir: the content-addressed result cache -- required, because
+        campaign results live in the cache (the store only keeps paths).
+    journal: optional journal path; records are additionally indexed
+        into the store, so ``status`` can count cache hits per drain.
+    max_attempts: per-job attempt budget enforced by ``requeue``.
+    progress: forwarded to the executor (``True`` for the stderr ticker).
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        name: str,
+        backend: Optional[Any] = None,
+        cache_dir: Optional[PathLike] = None,
+        journal: Optional[PathLike] = None,
+        max_attempts: int = 3,
+        progress: Any = None,
+    ) -> None:
+        if cache_dir is None:
+            raise ValueError(
+                "a campaign needs a cache_dir: results live in the "
+                "content-addressed cache, the store only tracks state"
+            )
+        self.store = store
+        self.name = name
+        self.cache_dir = str(cache_dir)
+        self.journal_path = None if journal is None else str(journal)
+        self.max_attempts = int(max_attempts)
+        self.progress = progress
+
+        existing = store.campaign(name)
+        if backend is None:
+            if existing is not None:
+                backend = _backends.backend_config_from_dict(existing.backend)
+            else:
+                backend = _backends.InlineBackendConfig()
+        self.backend_config = backend
+        self.campaign_id = store.ensure_campaign(
+            name, backend.to_dict(), cache_dir=self.cache_dir
+        )
+
+    # -- the submit/drain/requeue/fetch loop -----------------------------
+    def submit(self, specs: Sequence[Any]) -> int:
+        """Register specs as jobs; returns how many were new (idempotent)."""
+        return self.store.add_jobs(self.campaign_id, specs)
+
+    def drain(self, limit: Optional[int] = None) -> Dict[str, int]:
+        """Run pending jobs through the backend until none remain.
+
+        Orphaned ``running`` jobs (a previous drain died) are reset
+        first.  Failures do not abort the drain (``keep_going``); they
+        land in ``failed`` with their error and any postmortem path, for
+        ``requeue`` to pick up.  ``limit`` bounds how many jobs this
+        call claims (mainly for tests and incremental draining).
+
+        Returns the per-status counts after the drain.
+        """
+        self.store.reset_running(self.campaign_id)
+        pending = self.store.jobs(self.campaign_id, status=PENDING)
+        if limit is not None:
+            pending = pending[: max(0, int(limit))]
+        if pending:
+            specs = [spec_from_dict(job.spec) for job in pending]
+            for job in pending:
+                self.store.claim(self.campaign_id, job.spec_hash)
+
+            cache = ResultCache(self.cache_dir)
+
+            def on_job(outcome: JobOutcome) -> None:
+                if outcome.status == "failed":
+                    self.store.mark_failed(
+                        self.campaign_id,
+                        outcome.spec_hash,
+                        error_type=(outcome.error or {}).get("type", "Error"),
+                        error_message=(outcome.error or {}).get("message", ""),
+                        postmortem=outcome.postmortem,
+                        wall_s=outcome.wall_s,
+                    )
+                else:  # "cached" or "executed": the result is in the cache
+                    self.store.mark_done(
+                        self.campaign_id,
+                        outcome.spec_hash,
+                        result_path=str(cache.path_for(outcome.spec_hash)),
+                        wall_s=outcome.wall_s,
+                    )
+
+            journal: Optional[RunJournal] = None
+            if self.journal_path is not None:
+                journal = RunJournal(
+                    self.journal_path,
+                    observer=lambda entry: self.store.record_journal(
+                        self.campaign_id, entry
+                    ),
+                )
+            backend = _backends.build(self.backend_config)
+            backend.run(
+                specs,
+                cache_dir=self.cache_dir,
+                journal=journal,
+                progress=self.progress,
+                keep_going=True,
+                on_job=on_job,
+            )
+        return self.status()
+
+    def requeue(self) -> int:
+        """Failed jobs back to pending (attempt-capped); returns count."""
+        requeued, _exhausted = self.store.requeue_failed(
+            self.campaign_id, max_attempts=self.max_attempts
+        )
+        return requeued
+
+    def status(self) -> Dict[str, int]:
+        """Per-status job counts for this campaign."""
+        return self.store.counts(self.campaign_id)
+
+    def fetch(self, specs: Optional[Sequence[Any]] = None) -> List[Any]:
+        """Typed results for ``specs`` (default: every job, store order).
+
+        Raises :class:`CampaignError` if any requested job is not done
+        -- fetch is for finished work; ``status`` tells you what is left.
+        """
+        if specs is not None:
+            wanted = [(spec_hash(spec), spec.kind) for spec in specs]
+        else:
+            wanted = [
+                (job.spec_hash, job.kind) for job in self.store.jobs(self.campaign_id)
+            ]
+        cache = ResultCache(self.cache_dir)
+        results: List[Any] = []
+        for key, kind in wanted:
+            job = self.store.job(self.campaign_id, key)
+            if job is None or job.status != DONE:
+                state = "missing" if job is None else job.status
+                raise CampaignError(
+                    f"job {key[:12]} ({kind}) is {state}, not done; "
+                    "drain (and maybe requeue) the campaign first"
+                )
+            entry = cache.get(key)
+            if entry is None:
+                raise CampaignError(
+                    f"job {key[:12]} is done but its cache entry is gone "
+                    f"(expected at {cache.path_for(key)})"
+                )
+            results.append(result_from_dict(kind, entry["result"]))
+        return results
+
+    def failures(self) -> List[FailedRun]:
+        """The failed jobs, as :class:`FailedRun` values."""
+        return [
+            FailedRun(
+                spec_hash=job.spec_hash,
+                kind=job.kind,
+                error_type=job.error_type or "Error",
+                error_message=job.error_message or "",
+                postmortem=job.postmortem,
+            )
+            for job in self.store.jobs(self.campaign_id, status="failed")
+        ]
+
+    # -- ExperimentExecutor drop-in --------------------------------------
+    def run(self, specs: Sequence[Any]) -> List[Any]:
+        """Submit + drain + fetch, in submission order.
+
+        This is the duck-typed :class:`ExperimentExecutor` surface that
+        ``streaming_grid(executor=...)`` and ``wget_matrix(executor=...)``
+        call, so any sweep can run as a campaign by swapping the
+        executor for a runner.
+        """
+        self.submit(specs)
+        self.drain()
+        return self.fetch(specs)

@@ -1,0 +1,438 @@
+"""SQLite-backed campaign store: sweeps as durable, resumable state.
+
+A campaign is a named batch of experiment jobs.  Each job is one
+:mod:`repro.experiments.spec` spec, keyed by its content address
+(:func:`~repro.experiments.spec.spec_hash`), moving through a small state
+machine::
+
+    pending --> running --> done
+       |           |
+       |           +-----> failed --> pending   (requeue)
+       +--> done   (cache hit, no claim needed)
+
+All state lives in one SQLite file, so a campaign killed at job 7312 of
+10000 resumes exactly where it stopped: ``reset_running`` returns
+orphaned ``running`` jobs to ``pending``, and the drain picks them up
+again (re-executed jobs that already finished resolve from the result
+cache, not by re-simulating).  This is the fg-inet ``mkjobs`` /
+``runjobs`` / ``rerunTasks`` shell loop absorbed as library code.
+
+The store also indexes the run journal (every
+:class:`~repro.obs.journal.RunJournal` record of a campaign's drains)
+and the postmortem bundles of failed jobs, so triage starts from SQL
+rather than from grepping JSONL files.
+
+Invariants enforced here rather than by callers:
+
+* job identity is ``(campaign, spec_hash)`` -- re-submitting a spec that
+  is already part of the campaign is a no-op (idempotent submit);
+* every status change must be a legal transition (``_TRANSITIONS``);
+* claiming a job for execution bumps its attempt counter, and
+  ``requeue_failed`` refuses jobs that already burned ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.spec import canonical_json, spec_hash, spec_to_dict
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Job states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Legal status transitions.  ``pending -> done`` is the cache-hit
+#: short-circuit (the job never needed a worker); ``running -> pending``
+#: is crash recovery; ``failed -> pending`` is a requeue.
+_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    PENDING: frozenset({RUNNING, DONE}),
+    RUNNING: frozenset({DONE, FAILED, PENDING}),
+    FAILED: frozenset({PENDING}),
+    DONE: frozenset(),
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL UNIQUE,
+    backend TEXT NOT NULL,
+    cache_dir TEXT,
+    created_wall REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    spec_hash TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    status TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    wall_s REAL,
+    result_path TEXT,
+    error_type TEXT,
+    error_message TEXT,
+    postmortem TEXT,
+    updated_wall REAL NOT NULL,
+    UNIQUE (campaign_id, spec_hash)
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (campaign_id, status);
+CREATE TABLE IF NOT EXISTS journal (
+    id INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    record TEXT NOT NULL,
+    entry TEXT NOT NULL
+);
+"""
+
+
+class TransitionError(RuntimeError):
+    """An illegal job status transition was attempted."""
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One campaign, as stored."""
+
+    id: int
+    name: str
+    backend: Dict[str, Any]
+    cache_dir: Optional[str]
+    created_wall: float
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One job, as stored.  ``spec`` is the wire-format dict."""
+
+    id: int
+    campaign_id: int
+    spec_hash: str
+    kind: str
+    spec: Dict[str, Any]
+    status: str
+    attempts: int
+    wall_s: Optional[float]
+    result_path: Optional[str]
+    error_type: Optional[str]
+    error_message: Optional[str]
+    postmortem: Optional[str]
+
+
+def _row_to_job(row: sqlite3.Row) -> JobRow:
+    return JobRow(
+        id=row["id"],
+        campaign_id=row["campaign_id"],
+        spec_hash=row["spec_hash"],
+        kind=row["kind"],
+        spec=json.loads(row["spec"]),
+        status=row["status"],
+        attempts=row["attempts"],
+        wall_s=row["wall_s"],
+        result_path=row["result_path"],
+        error_type=row["error_type"],
+        error_message=row["error_message"],
+        postmortem=row["postmortem"],
+    )
+
+
+class CampaignStore:
+    """Durable campaign/job state in one SQLite file.
+
+    The connection commits per mutating call (autocommit via explicit
+    ``commit()``), so a killed process loses at most the statement in
+    flight -- SQLite's journal guarantees the file itself stays
+    consistent.  Open the same path again to resume.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- campaigns -------------------------------------------------------
+    def ensure_campaign(
+        self,
+        name: str,
+        backend: Dict[str, Any],
+        cache_dir: Optional[str] = None,
+    ) -> int:
+        """Create the campaign or return the existing one's id.
+
+        Re-opening an existing campaign with a *different* backend config
+        is allowed (you may resume a pool campaign inline); the stored
+        backend keeps describing the original submission.
+        """
+        row = self._conn.execute(
+            "SELECT id FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if row is not None:
+            return int(row["id"])
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (name, backend, cache_dir, created_wall)"
+            " VALUES (?, ?, ?, ?)",
+            # Bookkeeping timestamp, not simulation state.
+            (name, canonical_json(backend), cache_dir, time.time()),  # repro: noqa[RPR101]
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def campaign(self, name: str) -> Optional[CampaignRow]:
+        row = self._conn.execute(
+            "SELECT * FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            return None
+        return CampaignRow(
+            id=row["id"],
+            name=row["name"],
+            backend=json.loads(row["backend"]),
+            cache_dir=row["cache_dir"],
+            created_wall=row["created_wall"],
+        )
+
+    def campaigns(self) -> List[CampaignRow]:
+        names = [
+            row["name"]
+            for row in self._conn.execute(
+                "SELECT name FROM campaigns ORDER BY id"
+            ).fetchall()
+        ]
+        found = [self.campaign(name) for name in names]
+        return [row for row in found if row is not None]
+
+    # -- jobs ------------------------------------------------------------
+    def add_jobs(self, campaign_id: int, specs: Sequence[Any]) -> int:
+        """Register specs as jobs; returns how many were actually new.
+
+        Identity is the spec hash: a spec already present in the campaign
+        (same content, whatever its construction) is skipped, so
+        re-submitting a sweep after a crash or an extension is free.
+        """
+        added = 0
+        for spec in specs:
+            key = spec_hash(spec)
+            wire = spec_to_dict(spec)
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO jobs"
+                " (campaign_id, spec_hash, kind, spec, status, updated_wall)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    key,
+                    wire["kind"],
+                    canonical_json(wire),
+                    PENDING,
+                    time.time(),  # repro: noqa[RPR101]
+                ),
+            )
+            added += cursor.rowcount
+        self._conn.commit()
+        return added
+
+    def jobs(self, campaign_id: int, status: Optional[str] = None) -> List[JobRow]:
+        """Jobs of a campaign (optionally filtered), in insertion order."""
+        if status is None:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE campaign_id = ? ORDER BY id",
+                (campaign_id,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE campaign_id = ? AND status = ?"
+                " ORDER BY id",
+                (campaign_id, status),
+            ).fetchall()
+        return [_row_to_job(row) for row in rows]
+
+    def job(self, campaign_id: int, key: str) -> Optional[JobRow]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE campaign_id = ? AND spec_hash = ?",
+            (campaign_id, key),
+        ).fetchone()
+        return None if row is None else _row_to_job(row)
+
+    def counts(self, campaign_id: int) -> Dict[str, int]:
+        """Per-status job counts (statuses with zero jobs included)."""
+        result = {status: 0 for status in _TRANSITIONS}
+        for row in self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM jobs WHERE campaign_id = ?"
+            " GROUP BY status",
+            (campaign_id,),
+        ).fetchall():
+            result[row["status"]] = row["n"]
+        return result
+
+    # -- the state machine ----------------------------------------------
+    def _transition(
+        self,
+        campaign_id: int,
+        key: str,
+        new_status: str,
+        *,
+        bump_attempts: bool = False,
+        fields: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        row = self._conn.execute(
+            "SELECT status, attempts FROM jobs"
+            " WHERE campaign_id = ? AND spec_hash = ?",
+            (campaign_id, key),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no job {key!r} in campaign {campaign_id}")
+        current = row["status"]
+        if new_status not in _TRANSITIONS[current]:
+            raise TransitionError(
+                f"job {key[:12]} cannot go {current!r} -> {new_status!r}"
+            )
+        sets = ["status = ?", "updated_wall = ?"]
+        values: List[Any] = [new_status, time.time()]  # repro: noqa[RPR101]
+        if bump_attempts:
+            sets.append("attempts = attempts + 1")
+        for column, value in (fields or {}).items():
+            sets.append(f"{column} = ?")
+            values.append(value)
+        values.extend([campaign_id, key])
+        self._conn.execute(
+            f"UPDATE jobs SET {', '.join(sets)}"
+            " WHERE campaign_id = ? AND spec_hash = ?",
+            values,
+        )
+        self._conn.commit()
+
+    def claim(self, campaign_id: int, key: str) -> None:
+        """Take a pending job for execution (bumps its attempt count)."""
+        self._transition(campaign_id, key, RUNNING, bump_attempts=True)
+
+    def mark_done(
+        self,
+        campaign_id: int,
+        key: str,
+        result_path: Optional[str] = None,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        self._transition(
+            campaign_id,
+            key,
+            DONE,
+            fields={
+                "result_path": result_path,
+                "wall_s": wall_s,
+                "error_type": None,
+                "error_message": None,
+                "postmortem": None,
+            },
+        )
+
+    def mark_failed(
+        self,
+        campaign_id: int,
+        key: str,
+        error_type: str,
+        error_message: str,
+        postmortem: Optional[str] = None,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        self._transition(
+            campaign_id,
+            key,
+            FAILED,
+            fields={
+                "error_type": error_type,
+                "error_message": error_message,
+                "postmortem": postmortem,
+                "wall_s": wall_s,
+            },
+        )
+
+    def reset_running(self, campaign_id: int) -> int:
+        """Crash recovery: return orphaned ``running`` jobs to ``pending``.
+
+        Call this before a drain; any job still marked running belongs to
+        a dead process (drains are single-owner), so it is safe to take
+        back.  Returns how many were reset.
+        """
+        reset = 0
+        for job in self.jobs(campaign_id, status=RUNNING):
+            self._transition(campaign_id, job.spec_hash, PENDING)
+            reset += 1
+        return reset
+
+    def requeue_failed(self, campaign_id: int, max_attempts: int = 3) -> Tuple[int, int]:
+        """Return failed jobs to ``pending``, respecting the attempt cap.
+
+        Returns ``(requeued, exhausted)`` -- jobs whose attempt count
+        already reached ``max_attempts`` stay failed so a deterministic
+        crash cannot loop forever.
+        """
+        requeued = 0
+        exhausted = 0
+        for job in self.jobs(campaign_id, status=FAILED):
+            if job.attempts >= max_attempts:
+                exhausted += 1
+                continue
+            self._transition(campaign_id, job.spec_hash, PENDING)
+            requeued += 1
+        return requeued, exhausted
+
+    # -- journal + postmortem indexes ------------------------------------
+    def record_journal(self, campaign_id: int, entry: Dict[str, Any]) -> None:
+        """Index one run-journal record against the campaign."""
+        self._conn.execute(
+            "INSERT INTO journal (campaign_id, record, entry) VALUES (?, ?, ?)",
+            (
+                campaign_id,
+                str(entry.get("record", "unknown")),
+                json.dumps(entry, sort_keys=True, default=str),
+            ),
+        )
+        self._conn.commit()
+
+    def journal_records(
+        self, campaign_id: int, record: Optional[str] = None
+    ) -> List[Dict[str, Any]]:
+        """The campaign's indexed journal records, in arrival order."""
+        if record is None:
+            rows = self._conn.execute(
+                "SELECT entry FROM journal WHERE campaign_id = ? ORDER BY id",
+                (campaign_id,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT entry FROM journal"
+                " WHERE campaign_id = ? AND record = ? ORDER BY id",
+                (campaign_id, record),
+            ).fetchall()
+        return [json.loads(row["entry"]) for row in rows]
+
+    def postmortems(self, campaign_id: int) -> List[JobRow]:
+        """Failed jobs that left a postmortem bundle behind."""
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE campaign_id = ?"
+            " AND postmortem IS NOT NULL ORDER BY id",
+            (campaign_id,),
+        ).fetchall()
+        return [_row_to_job(row) for row in rows]

@@ -32,8 +32,18 @@ _CONTROLLERS = {
 CONTROLLER_NAMES = tuple(sorted(_CONTROLLERS))
 
 
-def make_controller(name: str) -> CongestionController:
-    """Instantiate a controller by name ("reno", "coupled"/"lia", "olia")."""
+def registered_controllers() -> frozenset:
+    """Every name ``build(CcSpec.of(name))`` resolves (aliases included)."""
+    return frozenset(_CONTROLLERS)
+
+
+def build_controller(name: str, **params) -> CongestionController:
+    """Instantiate a controller by kind name, passing constructor params.
+
+    The registry entry point behind ``build(CcSpec.of(name, **params))``
+    (:mod:`repro.core.spec`); always returns a fresh instance because
+    coupled controllers keep connection-scoped state.
+    """
     try:
         cls = _CONTROLLERS[name.lower()]
     except KeyError:
@@ -41,7 +51,12 @@ def make_controller(name: str) -> CongestionController:
             f"unknown congestion controller {name!r}; "
             f"choose from {sorted(set(_CONTROLLERS))}"
         ) from None
-    return cls()
+    return cls(**params)
+
+
+def make_controller(name: str) -> CongestionController:
+    """Instantiate a controller by name ("reno", "coupled"/"lia", "olia")."""
+    return build_controller(name)
 
 
 __all__ = [
@@ -51,5 +66,7 @@ __all__ = [
     "CoupledController",
     "OliaController",
     "CubicController",
+    "build_controller",
     "make_controller",
+    "registered_controllers",
 ]

@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.apps.http import GetResult, HttpSession
-from repro.core.registry import make_scheduler
+from repro.core.spec import SchedulerSpec, build
 from repro.mptcp.connection import ConnectionConfig, MptcpConnection
 from repro.net.profiles import PathConfig, make_path
 from repro.sim.engine import Simulator
@@ -234,7 +234,7 @@ def run_web(spec: WebBrowsingSpec) -> WebBrowsingResult:
     conns: List[MptcpConnection] = []
     sessions: List[HttpSession] = []
     for conn_index in range(spec.connections):
-        scheduler = make_scheduler(spec.scheduler, **spec.scheduler_params)
+        scheduler = build(SchedulerSpec.of(spec.scheduler, **spec.scheduler_params))
         conn = MptcpConnection(
             sim, paths, scheduler, config=spec.connection, name=f"web-{conn_index}"
         )

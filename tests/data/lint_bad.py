@@ -12,6 +12,8 @@ import time
 from dataclasses import dataclass
 from typing import ClassVar, Optional
 
+from repro.core.registry import _FACTORIES  # RPR701: cross-package private import
+
 
 def stamp():
     return time.time()  # RPR101: wall clock

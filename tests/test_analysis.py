@@ -165,6 +165,44 @@ class TestLintRules:
     def test_rpr501_case_insensitive(self):
         assert codes_of("s = make_scheduler('ECF')\n") == []
 
+    def test_rpr701_cross_package_private_name(self):
+        bad = "from repro.core.registry import _FACTORIES\n"
+        violations = lint_source(
+            bad, path="src/repro/experiments/exec.py", registries=TEST_REGISTRIES
+        )
+        assert [v.code for v in violations] == ["RPR701"]
+        assert "_FACTORIES" in violations[0].message
+
+    def test_rpr701_same_package_is_fine(self):
+        source = "from repro.core.registry import _FACTORIES\n"
+        assert lint_source(
+            source, path="src/repro/core/spec.py", registries=TEST_REGISTRIES
+        ) == []
+
+    def test_rpr701_public_import_is_fine(self):
+        source = "from repro.core.registry import make_scheduler\n"
+        assert lint_source(
+            source, path="src/repro/experiments/exec.py", registries=TEST_REGISTRIES
+        ) == []
+
+    def test_rpr701_private_module_path(self):
+        bad = "import repro.core._cache\n"
+        violations = lint_source(
+            bad, path="src/repro/experiments/exec.py", registries=TEST_REGISTRIES
+        )
+        assert [v.code for v in violations] == ["RPR701"]
+
+    def test_rpr701_applies_outside_the_package(self):
+        # External consumers (tests, scripts) get the same protection: for
+        # them every underscore name in repro is private.
+        assert codes_of("from repro.core.registry import _FACTORIES\n") == ["RPR701"]
+
+    def test_rpr701_relative_imports_exempt(self):
+        source = "from ._registry import _FACTORIES\n"
+        assert lint_source(
+            source, path="src/repro/core/spec.py", registries=TEST_REGISTRIES
+        ) == []
+
 
 class TestNoqaAndSelect:
     def test_blanket_noqa(self):

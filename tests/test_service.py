@@ -1,0 +1,380 @@
+"""Tests for the campaign service (repro.service).
+
+Covers the store's state machine and durability, backend-config round
+trips through the registry, and the runner's submit/drain/requeue/fetch
+loop -- including the acceptance path: a campaign killed mid-drain
+resumes from SQLite without re-simulating finished jobs (proved by
+"cached" journal records).
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.bulk import BulkDownloadResult, BulkDownloadSpec
+from repro.experiments.grid import wget_matrix
+from repro.experiments.spec import register_experiment, spec_hash
+from repro.net.profiles import lte_config, wifi_config
+from repro.service import (
+    CampaignError,
+    CampaignRunner,
+    CampaignStore,
+    InlineBackendConfig,
+    PoolBackendConfig,
+    TransitionError,
+    backend_config_from_dict,
+    build,
+    register_backend,
+    registered_backend_kinds,
+)
+from repro.service.backends import ExecutorBackend
+
+
+def bulk_specs(n=3, size=64 * 1024):
+    return [
+        BulkDownloadSpec(
+            scheduler="ecf",
+            path_configs=(wifi_config(2.0), lte_config(float(2 + i))),
+            size=size,
+            seed=i,
+        )
+        for i in range(n)
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class FlakySpec:
+    """Test-only spec that fails until its marker counts enough attempts."""
+
+    kind = "test_flaky"
+
+    marker: str
+    succeed_after: int = 2
+
+    def to_dict(self):
+        return {"marker": self.marker, "succeed_after": self.succeed_after}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class FlakyResult:
+    attempts: int
+
+    def to_dict(self):
+        return {"attempts": self.attempts}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+def _run_flaky(spec: FlakySpec) -> FlakyResult:
+    marker = Path(spec.marker)
+    count = int(marker.read_text()) if marker.exists() else 0
+    count += 1
+    marker.write_text(str(count))
+    if count < spec.succeed_after:
+        raise RuntimeError(f"deliberate failure on attempt {count}")
+    return FlakyResult(attempts=count)
+
+
+register_experiment("test_flaky", FlakySpec.from_dict, _run_flaky, FlakyResult.from_dict)
+
+
+class TestStore:
+    def test_submit_is_idempotent_by_spec_hash(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            specs = bulk_specs(3)
+            assert store.add_jobs(cid, specs) == 3
+            # Same content, fresh instances: nothing new to add.
+            assert store.add_jobs(cid, bulk_specs(3)) == 0
+            # A superset only adds the genuinely new jobs.
+            assert store.add_jobs(cid, bulk_specs(5)) == 2
+            assert store.counts(cid)["pending"] == 5
+
+    def test_ensure_campaign_reuses_by_name(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            first = store.ensure_campaign("fig14", {"kind": "inline"})
+            again = store.ensure_campaign("fig14", {"kind": "pool", "jobs": 4})
+            assert first == again
+            # The stored backend keeps describing the original submission.
+            assert store.campaign("fig14").backend == {"kind": "inline"}
+
+    def test_state_machine_happy_path(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            (spec,) = bulk_specs(1)
+            store.add_jobs(cid, [spec])
+            key = spec_hash(spec)
+            store.claim(cid, key)
+            assert store.job(cid, key).status == "running"
+            assert store.job(cid, key).attempts == 1
+            store.mark_done(cid, key, result_path="/tmp/x.json", wall_s=0.5)
+            job = store.job(cid, key)
+            assert job.status == "done"
+            assert job.result_path == "/tmp/x.json"
+
+    def test_cache_hit_shortcut_pending_to_done(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            (spec,) = bulk_specs(1)
+            store.add_jobs(cid, [spec])
+            store.mark_done(cid, spec_hash(spec))  # no claim needed
+            assert store.counts(cid)["done"] == 1
+
+    def test_illegal_transitions_raise(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            (spec,) = bulk_specs(1)
+            store.add_jobs(cid, [spec])
+            key = spec_hash(spec)
+            with pytest.raises(TransitionError):
+                store.mark_failed(cid, key, "Boom", "pending cannot fail")
+            store.claim(cid, key)
+            store.mark_done(cid, key)
+            with pytest.raises(TransitionError):
+                store.claim(cid, key)  # done is terminal
+            with pytest.raises(KeyError):
+                store.claim(cid, "no-such-hash")
+
+    def test_reset_running_recovers_orphans(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            specs = bulk_specs(3)
+            store.add_jobs(cid, specs)
+            store.claim(cid, spec_hash(specs[0]))
+            store.claim(cid, spec_hash(specs[1]))
+            assert store.reset_running(cid) == 2
+            counts = store.counts(cid)
+            assert counts["pending"] == 3 and counts["running"] == 0
+            # Attempts survive the reset -- the crash burned a try.
+            assert store.job(cid, spec_hash(specs[0])).attempts == 1
+
+    def test_requeue_respects_attempt_cap(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            (spec,) = bulk_specs(1)
+            store.add_jobs(cid, [spec])
+            key = spec_hash(spec)
+            store.claim(cid, key)
+            store.mark_failed(cid, key, "RuntimeError", "boom")
+            # Below the cap each failure requeues...
+            assert store.requeue_failed(cid, max_attempts=3) == (1, 0)
+            store.claim(cid, key)
+            store.mark_failed(cid, key, "RuntimeError", "boom")
+            assert store.requeue_failed(cid, max_attempts=3) == (1, 0)
+            store.claim(cid, key)
+            store.mark_failed(cid, key, "RuntimeError", "boom")
+            # ...but at the cap the job stays failed.
+            assert store.requeue_failed(cid, max_attempts=3) == (0, 1)
+            assert store.job(cid, key).status == "failed"
+            assert store.job(cid, key).attempts == 3
+
+    def test_state_survives_reopen(self, tmp_path):
+        db = tmp_path / "c.db"
+        specs = bulk_specs(2)
+        with CampaignStore(db) as store:
+            cid = store.ensure_campaign("sweep", {"kind": "pool", "jobs": 4})
+            store.add_jobs(cid, specs)
+            store.claim(cid, spec_hash(specs[0]))
+            store.mark_done(cid, spec_hash(specs[0]))
+        with CampaignStore(db) as store:
+            campaign = store.campaign("sweep")
+            assert campaign.backend == {"kind": "pool", "jobs": 4}
+            counts = store.counts(campaign.id)
+            assert counts == {"pending": 1, "running": 0, "done": 1, "failed": 0}
+            job = store.job(campaign.id, spec_hash(specs[1]))
+            assert job.spec["spec"]["size"] == specs[1].size
+
+    def test_journal_index(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            cid = store.ensure_campaign("sweep", {"kind": "inline"})
+            store.record_journal(cid, {"record": "job", "status": "cached"})
+            store.record_journal(cid, {"record": "batch_end", "executed": 0})
+            jobs = store.journal_records(cid, record="job")
+            assert [r["status"] for r in jobs] == ["cached"]
+            assert len(store.journal_records(cid)) == 2
+
+
+class TestBackendConfigs:
+    def test_round_trip_through_wire_form(self):
+        for config in (
+            InlineBackendConfig(),
+            InlineBackendConfig(timeout_s=30.0, retries=2),
+            PoolBackendConfig(),
+            PoolBackendConfig(jobs=7, timeout_s=5.0, retries=3),
+        ):
+            wire = json.loads(json.dumps(config.to_dict()))
+            assert backend_config_from_dict(wire) == config
+
+    def test_round_trip_through_store(self, tmp_path):
+        config = PoolBackendConfig(jobs=3, timeout_s=60.0)
+        with CampaignStore(tmp_path / "c.db") as store:
+            store.ensure_campaign("sweep", config.to_dict())
+            stored = store.campaign("sweep").backend
+            assert backend_config_from_dict(stored) == config
+
+    def test_build_realizes_fresh_instances(self):
+        config = PoolBackendConfig(jobs=4)
+        a, b = build(config), build(config)
+        assert isinstance(a, ExecutorBackend)
+        assert a is not b
+        assert a.jobs == 4
+        assert build(InlineBackendConfig()).jobs == 1
+
+    def test_build_rejects_unknown_configs(self):
+        with pytest.raises(TypeError):
+            build(object())
+        with pytest.raises(ValueError):
+            backend_config_from_dict({"kind": "warp-cluster"})
+
+    def test_register_backend_extends_the_registry(self):
+        @dataclasses.dataclass(frozen=True)
+        class NullConfig:
+            kind = "test_null"
+
+            def to_dict(self):
+                return {"kind": self.kind}
+
+        marker = object()
+        register_backend("test_null", lambda data: NullConfig(), lambda c: marker)
+        assert "test_null" in registered_backend_kinds()
+        assert build(NullConfig()) is marker
+        assert backend_config_from_dict({"kind": "test_null"}) == NullConfig()
+
+
+class TestCampaignRunner:
+    def test_requires_cache_dir(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            with pytest.raises(ValueError):
+                CampaignRunner(store, "sweep")
+
+    def test_submit_drain_fetch(self, tmp_path):
+        specs = bulk_specs(3)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            assert runner.submit(specs) == 3
+            assert runner.submit(specs) == 0  # idempotent
+            counts = runner.drain()
+            assert counts["done"] == 3 and counts["failed"] == 0
+            results = runner.fetch(specs)
+            assert [r.size for r in results] == [s.size for s in specs]
+            assert all(isinstance(r, BulkDownloadResult) for r in results)
+
+    def test_fetch_before_drain_raises(self, tmp_path):
+        specs = bulk_specs(1)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            runner.submit(specs)
+            with pytest.raises(CampaignError):
+                runner.fetch(specs)
+
+    def test_interrupted_drain_resumes_from_sqlite(self, tmp_path):
+        db, cache = tmp_path / "c.db", tmp_path / "cache"
+        specs = bulk_specs(4)
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=cache)
+            runner.submit(specs)
+            counts = runner.drain(limit=2)
+            assert counts["done"] == 2 and counts["pending"] == 2
+            # Simulate the crash: one job claimed but never finished.
+            store.claim(runner.campaign_id, spec_hash(specs[2]))
+            assert runner.status()["running"] == 1
+        # A fresh process reopens the same store and just drains: the
+        # orphan is reset, the rest run, the finished two stay done.
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=cache)
+            counts = runner.drain()
+            assert counts == {"pending": 0, "running": 0, "done": 4, "failed": 0}
+            assert len(runner.fetch(specs)) == 4
+
+    def test_resumed_jobs_hit_the_cache(self, tmp_path):
+        """The acceptance criterion: a resume re-drains as cache hits."""
+        cache = tmp_path / "cache"
+        specs = bulk_specs(3)
+        with CampaignStore(tmp_path / "first.db") as store:
+            CampaignRunner(store, "sweep", cache_dir=cache).run(specs)
+        # Same specs, same cache, fresh campaign state: every job must
+        # journal as "cached" -- nothing re-simulates.
+        with CampaignStore(tmp_path / "second.db") as store:
+            runner = CampaignRunner(
+                store, "sweep", cache_dir=cache,
+                journal=tmp_path / "second.journal.jsonl",
+            )
+            runner.submit(specs)
+            counts = runner.drain()
+            assert counts["done"] == 3
+            jobs = store.journal_records(runner.campaign_id, record="job")
+            assert [r["status"] for r in jobs] == ["cached"] * 3
+
+    def test_failed_job_requeues_then_succeeds(self, tmp_path):
+        spec = FlakySpec(marker=str(tmp_path / "marker"), succeed_after=2)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            runner.submit([spec])
+            counts = runner.drain()
+            assert counts["failed"] == 1
+            (failure,) = runner.failures()
+            assert failure.error_type == "RuntimeError"
+            assert "attempt 1" in failure.error_message
+            assert runner.requeue() == 1
+            counts = runner.drain()
+            assert counts == {"pending": 0, "running": 0, "done": 1, "failed": 0}
+            (result,) = runner.fetch([spec])
+            assert result.attempts == 2
+
+    def test_requeue_gives_up_at_the_attempt_cap(self, tmp_path):
+        spec = FlakySpec(marker=str(tmp_path / "marker"), succeed_after=99)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(
+                store, "sweep", cache_dir=tmp_path / "cache", max_attempts=2
+            )
+            runner.submit([spec])
+            runner.drain()
+            assert runner.requeue() == 1
+            runner.drain()
+            assert runner.status()["failed"] == 1
+            assert runner.requeue() == 0  # both attempts burned
+            job = store.job(runner.campaign_id, spec_hash(spec))
+            assert job.attempts == 2
+
+    def test_reopening_resumes_the_stored_backend(self, tmp_path):
+        db = tmp_path / "c.db"
+        with CampaignStore(db) as store:
+            CampaignRunner(
+                store, "sweep",
+                backend=PoolBackendConfig(jobs=2),
+                cache_dir=tmp_path / "cache",
+            )
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            assert runner.backend_config == PoolBackendConfig(jobs=2)
+
+    def test_runner_is_an_executor_drop_in(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(store, "fig18", cache_dir=tmp_path / "cache")
+            matrix = wget_matrix(
+                ("minrtt",), (64 * 1024,), (1.0,), (2.0, 8.0), executor=runner,
+            )
+            assert set(matrix) == {
+                (64 * 1024, 1.0, 2.0, "minrtt"),
+                (64 * 1024, 1.0, 8.0, "minrtt"),
+            }
+            assert runner.status()["done"] == 2
+
+    def test_pool_backend_drains_a_campaign(self, tmp_path):
+        specs = bulk_specs(3)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(
+                store, "sweep",
+                backend=PoolBackendConfig(jobs=2),
+                cache_dir=tmp_path / "cache",
+            )
+            counts = runner.run(specs) and runner.status()
+            assert counts["done"] == 3
