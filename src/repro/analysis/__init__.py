@@ -5,7 +5,12 @@ Four layers guard the simulator's invariants:
 * :mod:`repro.analysis.lint` -- an AST linter with simulator-specific
   rules (wall-clock reads, ad-hoc randomness, mutable defaults, float
   equality on timestamps, unfrozen specs, unresolvable registry kinds,
-  out-of-engine event-queue manipulation);
+  out-of-engine event-queue manipulation), fronting the whole-program
+  engine in :mod:`repro.analysis.flow` (import graph, call graph,
+  taint dataflow) whose RPR8xx rules live in
+  :mod:`repro.analysis.rules8xx`, with SARIF output
+  (:mod:`repro.analysis.sarif`) and a committed findings baseline
+  (:mod:`repro.analysis.baseline`);
 * :mod:`repro.analysis.sanitize` -- runtime assertion hooks in the
   protocol layers, enabled with ``REPRO_SANITIZE=1`` / ``--sanitize``
   and compiled down to a single ``is None`` test when off;
@@ -29,7 +34,14 @@ from typing import TYPE_CHECKING
 from repro.analysis.sanitize import SanitizerError, disable, enable, enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only re-exports
-    from repro.analysis.lint import RULES, Violation, lint_paths, lint_source
+    from repro.analysis.lint import (
+        RULES,
+        LintRun,
+        Violation,
+        lint_paths,
+        lint_source,
+        run_lint,
+    )
 
 __all__ = [
     "SanitizerError",
@@ -38,11 +50,20 @@ __all__ = [
     "enabled",
     "RULES",
     "Violation",
+    "LintRun",
     "lint_paths",
     "lint_source",
+    "run_lint",
 ]
 
-_LINT_EXPORTS = ("RULES", "Violation", "lint_paths", "lint_source")
+_LINT_EXPORTS = (
+    "RULES",
+    "Violation",
+    "LintRun",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+)
 
 
 def __getattr__(name: str):

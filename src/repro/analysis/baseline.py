@@ -1,0 +1,107 @@
+"""Lint baselines: adopt a tool upgrade without a flag day.
+
+A baseline is a committed JSON file recording the findings a team has
+*seen and accepted* (for now).  CI lints with ``--baseline``: findings
+in the file are suppressed, anything new fails the build.  That lets a
+stricter analyzer land immediately -- pre-existing debt is frozen in
+the baseline (each entry carries a ``reason``), while every new
+violation is a hard error from day one.
+
+Fingerprints are **line-independent** -- ``sha1(path : code : message)``
+-- so inserting a line above an accepted finding does not churn the
+baseline.  Identical findings (same file, rule, and message) are
+counted: the baseline absorbs up to ``count`` of them, and the
+``count+1``-th is new.
+
+Workflow::
+
+    python -m repro.cli lint --baseline lint-baseline.json        # gate
+    python -m repro.cli lint --update-baseline                    # adopt
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.flow import Violation
+
+BASELINE_VERSION = 1
+
+#: The conventional committed location, used by ``--update-baseline``
+#: when no ``--baseline`` path is given.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+PathLike = Union[str, Path]
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    payload = f"{violation.path}:{violation.code}:{violation.message}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def make_baseline(
+    violations: Sequence[Violation], reasons: Dict[str, str] = None
+) -> Dict[str, Any]:
+    """A baseline document covering exactly ``violations``.
+
+    ``reasons`` maps fingerprints to human explanations; entries
+    without one get a placeholder that review should replace.
+    """
+    findings: Dict[str, Dict[str, Any]] = {}
+    for violation in violations:
+        key = fingerprint(violation)
+        entry = findings.get(key)
+        if entry is None:
+            findings[key] = {
+                "path": violation.path,
+                "code": violation.code,
+                "message": violation.message,
+                "count": 1,
+                "reason": (reasons or {}).get(key, "accepted pre-existing finding"),
+            }
+        else:
+            entry["count"] += 1
+    return {"version": BASELINE_VERSION, "findings": findings}
+
+
+def save_baseline(document: Dict[str, Any], path: PathLike) -> None:
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: PathLike) -> Dict[str, Any]:
+    document = json.loads(Path(path).read_text())
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; "
+            f"this analyzer reads version {BASELINE_VERSION}"
+        )
+    return document
+
+
+def apply_baseline(
+    violations: Sequence[Violation], document: Dict[str, Any]
+) -> Tuple[List[Violation], int]:
+    """(new findings, suppressed count) after subtracting the baseline.
+
+    Per fingerprint, up to ``count`` occurrences are suppressed (in
+    report order); the rest surface as new.
+    """
+    budget: Dict[str, int] = {
+        key: int(entry.get("count", 1))
+        for key, entry in document.get("findings", {}).items()
+    }
+    fresh: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed

@@ -1,0 +1,1139 @@
+"""Whole-program semantic analysis over the repro package.
+
+Where :mod:`repro.analysis.lint` judges one module at a time by its
+syntax, this module sees the *program*: which module imports which,
+which function calls which, and what flows where.  Four artifacts are
+built from one pass over the sources:
+
+* a **module import graph** (``Project.import_graph``);
+* per-module **symbol tables** (functions, methods, classes, imports);
+* a conservative **call graph** -- edges only where a callee resolves
+  statically (local names, imported names, ``self.method`` within the
+  defining class), so it under-approximates and never invents an edge;
+* an interprocedural **taint pass**: a function that *transitively*
+  reaches ``time.time()`` / module-level ``random.*`` / ad-hoc
+  ``random.Random(...)`` is tainted, however many call hops sit between
+  it and the source.
+
+The RPR8xx rule family (:mod:`repro.analysis.rules8xx`) consumes these
+to upgrade the syntactic rules to semantic ones.  The front end that
+ties parsing, caching, and reporting together is
+:func:`repro.analysis.lint.run_lint`.
+
+Incrementality: every module's facts are distilled into a
+:class:`ModuleSummary`, a plain-JSON value cached by file content hash
+(:class:`SummaryCache`).  A warm re-lint of an unchanged tree reads and
+hashes the files but parses **zero** of them -- the whole-program passes
+(graph building, taint propagation) run over cached summaries, which is
+cheap.  ``CacheStats.parsed`` is the counter tests assert on.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Bump when the summary shape or the extraction logic changes: stale
+#: cache entries from an older analyzer must not survive an upgrade.
+CACHE_VERSION = 1
+
+#: Dotted call targets that read the wall clock (shared with the
+#: syntactic RPR101; kept here so both layers agree on the source set).
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Call terminal names that feed event ordering, RNG stream derivation,
+#: or spec hashing -- the sinks RPR831 cares about.
+DETERMINISM_SINKS = frozenset(
+    {"schedule", "schedule_at", "stream", "fork", "spec_hash", "canonical_json"}
+)
+
+#: Method names that mutate their receiver in place (RPR821).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Name-suffix -> dimension, for RPR841.  Longest suffix wins, so
+#: ``retry_delay_ms`` is milliseconds, not seconds.
+DIMENSION_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_seconds", "seconds"),
+    ("_secs", "seconds"),
+    ("_ms", "milliseconds"),
+    ("_us", "microseconds"),
+    ("_ns", "nanoseconds"),
+    ("_s", "seconds"),
+    ("_bytes", "bytes"),
+    ("_byte", "bytes"),
+    ("_bits", "bits"),
+    ("_pkts", "packets"),
+    ("_packets", "packets"),
+    ("_mbps", "megabits/s"),
+    ("_kbps", "kilobits/s"),
+    ("_bps", "bits/s"),
+)
+
+#: Modules RPR811-813 report call sites in: the simulation-semantics
+#: packages that must stay wall-clock- and ambient-RNG-free even
+#: transitively.  Files outside the repro package (fixtures, scripts
+#: linted explicitly) are always in scope.
+DEFAULT_TAINT_SCOPE: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.tcp",
+    "repro.net",
+    "repro.core",
+)
+
+#: Taint kinds, in reporting order.
+TAINT_CLOCK = "clock"
+TAINT_RANDOM = "random"
+TAINT_RNG_CTOR = "rng-ctor"
+
+NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and how to fix it."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixit: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message} ({self.fixit})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "fixit": self.fixit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(**data)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.expr) -> Optional[str]:
+    """The last identifier of a Name or Attribute expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def suppressed_codes(line: str) -> Optional[Set[str]]:
+    """Codes a ``# repro: noqa`` comment suppresses; None = no comment,
+    empty set = blanket suppression."""
+    match = NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return set()
+    return {code.strip() for code in codes.split(",") if code.strip()}
+
+
+def apply_noqa(violations: List[Violation], source: str) -> List[Violation]:
+    """Drop violations suppressed by a ``# repro: noqa`` on their line."""
+    lines = source.splitlines()
+    kept: List[Violation] = []
+    for violation in violations:
+        line = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        suppressed = suppressed_codes(line)
+        if suppressed is not None and (not suppressed or violation.code in suppressed):
+            continue
+        kept.append(violation)
+    return kept
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path.
+
+    Files under a ``repro`` package directory get their real import
+    path (``src/repro/sim/engine.py`` -> ``repro.sim.engine``); files
+    outside it (fixtures, scripts) get a path-derived unique name so
+    symbol tables never collide.  Paths are relativized against the
+    working directory first, so the same file gets the same module name
+    whether it was given relative or absolute -- cross-module import
+    resolution depends on that.
+    """
+    resolved = Path(path)
+    try:
+        resolved = resolved.resolve().relative_to(Path.cwd())
+    except (OSError, ValueError):
+        pass
+    parts = list(resolved.as_posix().split("/"))
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[start:])
+    return ".".join(part for part in parts if part and part != "..").lstrip(".")
+
+
+def dimension_of_name(name: Optional[str]) -> Optional[str]:
+    """The unit dimension a name suffix declares, if any."""
+    if not name:
+        return None
+    for suffix, dim in DIMENSION_SUFFIXES:
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return dim
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-module facts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression: who calls what, where."""
+
+    caller: str  # enclosing function qualname, or "<mod>.<module>"
+    callee: str  # dotted text as written ("self.send", "helpers.now")
+    line: int
+    col: int
+    loop: Optional[int] = None  # index into ModuleSummary.loops, if inside one
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "caller": self.caller,
+            "callee": self.callee,
+            "line": self.line,
+            "col": self.col,
+            "loop": self.loop,
+        }
+
+
+@dataclass
+class UnorderedLoop:
+    """A ``for`` statement iterating a set-typed expression."""
+
+    index: int
+    caller: str
+    line: int
+    col: int
+    desc: str  # human description of the iterable
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "caller": self.caller,
+            "line": self.line,
+            "col": self.col,
+            "desc": self.desc,
+        }
+
+
+@dataclass
+class SpecMutation:
+    """A mutation of state reachable from a (candidate) frozen spec."""
+
+    line: int
+    col: int
+    caller: str
+    detail: str
+    cls: Optional[str]  # spec class name if known; None = by-name candidate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "caller": self.caller,
+            "detail": self.detail,
+            "cls": self.cls,
+        }
+
+
+@dataclass
+class ClassInfo:
+    """What the whole-program passes need to know about a class."""
+
+    line: int
+    frozen_dataclass: bool
+    spec_like: bool  # *Spec / *Config name, or ClassVar ``kind``
+    set_attrs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "line": self.line,
+            "frozen_dataclass": self.frozen_dataclass,
+            "spec_like": self.spec_like,
+            "set_attrs": list(self.set_attrs),
+        }
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program passes need from one module.
+
+    Plain-JSON serializable: this is the cache payload.  ``local``
+    holds the already-noqa-filtered per-module findings (syntactic
+    rules plus the intra-module RPR841 pass), so a cache hit skips the
+    per-module rules entirely.
+    """
+
+    module: str
+    path: str
+    functions: Dict[str, int] = field(default_factory=dict)  # qualname -> line
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    imports: Dict[str, str] = field(default_factory=dict)  # local -> dotted target
+    calls: List[CallSite] = field(default_factory=list)
+    taints: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    loops: List[UnorderedLoop] = field(default_factory=list)
+    spec_mutations: List[SpecMutation] = field(default_factory=list)
+    local: List[Violation] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "functions": dict(self.functions),
+            "classes": {name: info.to_dict() for name, info in self.classes.items()},
+            "imports": dict(self.imports),
+            "calls": [site.to_dict() for site in self.calls],
+            "taints": {
+                qualname: [list(entry) for entry in entries]
+                for qualname, entries in self.taints.items()
+            },
+            "loops": [loop.to_dict() for loop in self.loops],
+            "spec_mutations": [mut.to_dict() for mut in self.spec_mutations],
+            "local": [violation.to_dict() for violation in self.local],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            functions=dict(data["functions"]),
+            classes={
+                name: ClassInfo(**info) for name, info in data["classes"].items()
+            },
+            imports=dict(data["imports"]),
+            calls=[CallSite(**site) for site in data["calls"]],
+            taints={
+                qualname: [tuple(entry) for entry in entries]
+                for qualname, entries in data["taints"].items()
+            },
+            loops=[UnorderedLoop(**loop) for loop in data["loops"]],
+            spec_mutations=[SpecMutation(**mut) for mut in data["spec_mutations"]],
+            local=[Violation.from_dict(v) for v in data["local"]],
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction: one AST walk distills a module into its summary
+# ----------------------------------------------------------------------
+
+
+class _Scope:
+    """Per-function (or module) inference state."""
+
+    __slots__ = ("set_vars", "dims", "spec_vars", "spec_aliases")
+
+    def __init__(self) -> None:
+        self.set_vars: Set[str] = set()
+        self.dims: Dict[str, str] = {}
+        # var -> spec class name (None = matched by naming convention)
+        self.spec_vars: Dict[str, Optional[str]] = {}
+        # var -> (description, spec class) for aliases of spec payloads
+        self.spec_aliases: Dict[str, Tuple[str, Optional[str]]] = {}
+
+
+_SET_ANNOTATIONS = frozenset({"set", "Set", "FrozenSet", "frozenset", "AbstractSet", "MutableSet"})
+_SET_OPS = frozenset({"union", "intersection", "difference", "symmetric_difference"})
+
+
+def _is_spec_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered == "spec" or lowered.endswith("_spec") or lowered.endswith("spec")
+
+
+def _spec_class_name(name: Optional[str]) -> Optional[str]:
+    """Class names that *look like* frozen-spec types; confirmed against
+    the program-wide frozen-spec set later."""
+    if name and (name.endswith("Spec") or name.endswith("Config")):
+        return name
+    return None
+
+
+class ModuleExtractor(ast.NodeVisitor):
+    """One pass over a module AST, filling a :class:`ModuleSummary`.
+
+    The extractor is deliberately flow-insensitive beyond straight-line
+    assignment order: it never invents facts, so downstream rules
+    under-approximate (a lint must not cry wolf).
+    """
+
+    def __init__(self, module: str, path: str) -> None:
+        self.summary = ModuleSummary(module=module, path=path)
+        self._class_stack: List[str] = []
+        self._func_stack: List[str] = []
+        self._loop_stack: List[int] = []
+        self._scopes: List[_Scope] = [_Scope()]  # module-level scope
+
+    # -- context helpers -----------------------------------------------
+    @property
+    def _scope(self) -> _Scope:
+        return self._scopes[-1]
+
+    def _caller(self) -> str:
+        if self._func_stack:
+            return self._func_stack[-1]
+        return f"{self.summary.module}.<module>"
+
+    def _qualname(self, name: str) -> str:
+        parts = [self.summary.module, *self._class_stack]
+        if self._func_stack:
+            # nested function: qualify under the innermost function
+            parts = [self._func_stack[-1]]
+        return ".".join(parts + [name])
+
+    # -- definitions ---------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        frozen = False
+        is_dataclass = False
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if terminal_name(target) == "dataclass":
+                is_dataclass = True
+                if isinstance(dec, ast.Call):
+                    for keyword in dec.keywords:
+                        if keyword.arg == "frozen":
+                            frozen = (
+                                isinstance(keyword.value, ast.Constant)
+                                and keyword.value.value is True
+                            )
+        spec_like = node.name.endswith("Spec") or node.name.endswith("Config")
+        set_attrs: List[str] = []
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                if (
+                    statement.target.id == "kind"
+                    and "ClassVar" in ast.dump(statement.annotation)
+                ):
+                    spec_like = True
+                if self._annotation_is_set(statement.annotation):
+                    set_attrs.append(statement.target.id)
+        self.summary.classes[node.name] = ClassInfo(
+            line=node.lineno,
+            frozen_dataclass=is_dataclass and frozen,
+            spec_like=spec_like,
+            set_attrs=set_attrs,
+        )
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    @staticmethod
+    def _annotation_is_set(annotation: ast.expr) -> bool:
+        for sub in ast.walk(annotation):
+            name = None
+            if isinstance(sub, (ast.Name, ast.Attribute)):
+                name = terminal_name(sub)
+            if name in _SET_ANNOTATIONS:
+                return True
+        return False
+
+    def _visit_function(self, node: Any) -> None:
+        qualname = self._qualname(node.name)
+        self.summary.functions[qualname] = node.lineno
+        scope = _Scope()
+        for arg in [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]:
+            if arg.annotation is not None:
+                if self._annotation_is_set(arg.annotation):
+                    scope.set_vars.add(arg.arg)
+                ann = terminal_name(arg.annotation)
+                spec_cls = _spec_class_name(ann)
+                if spec_cls is not None:
+                    scope.spec_vars[arg.arg] = spec_cls
+            if arg.arg not in scope.spec_vars and _is_spec_name(arg.arg):
+                scope.spec_vars[arg.arg] = None
+            dim = dimension_of_name(arg.arg)
+            if dim is not None:
+                scope.dims[arg.arg] = dim
+        self._func_stack.append(qualname)
+        self._scopes.append(scope)
+        saved_loops, self._loop_stack = self._loop_stack, []
+        self.generic_visit(node)
+        self._loop_stack = saved_loops
+        self._scopes.pop()
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.summary.imports[local] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Relative import: anchor at the importing module's package.
+            package_parts = self.summary.module.split(".")[: -node.level]
+            base = ".".join(package_parts + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.summary.imports[local] = f"{base}.{alias.name}" if base else alias.name
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        text = dotted_name(node.func)
+        if text is not None:
+            self.summary.calls.append(
+                CallSite(
+                    caller=self._caller(),
+                    callee=text,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    loop=self._loop_stack[-1] if self._loop_stack else None,
+                )
+            )
+            self._record_taint_source(text)
+            self._record_mutation_call(node, text)
+        self.generic_visit(node)
+
+    def _record_taint_source(self, text: str) -> None:
+        kind: Optional[str] = None
+        if text in WALL_CLOCK_CALLS:
+            kind = TAINT_CLOCK
+        elif text.startswith("random."):
+            head = text.split(".", 2)[1]
+            kind = TAINT_RNG_CTOR if head in ("Random", "SystemRandom") else TAINT_RANDOM
+        if kind is not None:
+            entries = self.summary.taints.setdefault(self._caller(), [])
+            if (kind, text) not in entries:
+                entries.append((kind, text))
+
+    def _record_mutation_call(self, node: ast.Call, text: str) -> None:
+        """``spec.field.append(x)`` / ``alias.add(x)`` -> candidate RPR821."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in MUTATING_METHODS:
+            return
+        receiver = node.func.value
+        found = self._spec_payload(receiver)
+        if found is not None:
+            desc, cls = found
+            self._add_mutation(node, f"{desc}.{node.func.attr}(...)", cls)
+
+    def _spec_payload(self, node: ast.expr) -> Optional[Tuple[str, Optional[str]]]:
+        """(description, spec class) when ``node`` reads spec-reachable
+        state: ``spec.field``, a recorded alias, or a subscript of one."""
+        if isinstance(node, ast.Subscript):
+            inner = self._spec_payload(node.value)
+            if inner is not None:
+                return f"{inner[0]}[...]", inner[1]
+            return None
+        if isinstance(node, ast.Attribute):
+            root = node.value
+            if isinstance(root, ast.Name) and root.id in self._scope.spec_vars:
+                return f"{root.id}.{node.attr}", self._scope.spec_vars[root.id]
+            inner = self._spec_payload(root)
+            if inner is not None:
+                return f"{inner[0]}.{node.attr}", inner[1]
+            return None
+        if isinstance(node, ast.Name) and node.id in self._scope.spec_aliases:
+            return self._scope.spec_aliases[node.id]
+        return None
+
+    def _add_mutation(self, node: ast.AST, detail: str, cls: Optional[str]) -> None:
+        self.summary.spec_mutations.append(
+            SpecMutation(
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                caller=self._caller(),
+                detail=detail,
+                cls=cls,
+            )
+        )
+
+    # -- loops ---------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        desc = self._unordered_desc(node.iter)
+        if desc is not None:
+            loop = UnorderedLoop(
+                index=len(self.summary.loops),
+                caller=self._caller(),
+                line=node.lineno,
+                col=node.col_offset + 1,
+                desc=desc,
+            )
+            self.summary.loops.append(loop)
+            self._loop_stack.append(loop.index)
+            self.generic_visit(node)
+            self._loop_stack.pop()
+        else:
+            self.generic_visit(node)
+
+    def _unordered_desc(self, node: ast.expr) -> Optional[str]:
+        """Description of ``node`` when it evaluates to an unordered set."""
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            callee = terminal_name(node.func)
+            if callee in ("set", "frozenset"):
+                return f"{callee}(...)"
+            if callee in _SET_OPS and isinstance(node.func, ast.Attribute):
+                if self._unordered_desc(node.func.value) is not None or node.args:
+                    # x.union(y): unordered whenever the receiver is a set
+                    # we can see; conservative otherwise.
+                    if self._unordered_desc(node.func.value) is not None:
+                        return f"a set .{callee}()"
+            if callee == "sorted":
+                return None
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            left = self._unordered_desc(node.left)
+            right = self._unordered_desc(node.right)
+            if left is not None or right is not None:
+                return "a set expression"
+            return None
+        if isinstance(node, ast.Name) and node.id in self._scope.set_vars:
+            return f"set-typed {node.id!r}"
+        if isinstance(node, ast.Attribute):
+            root = node.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id in ("self", "cls")
+                and self._class_stack
+            ):
+                info = self.summary.classes.get(self._class_stack[-1])
+                if info is not None and node.attr in info.set_attrs:
+                    return f"set-typed self.{node.attr}"
+        return None
+
+    # -- assignments: set-typedness, aliasing, dimensions --------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_assignment(node.targets, node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            if self._annotation_is_set(node.annotation):
+                self._scope.set_vars.add(node.target.id)
+            ann_spec = _spec_class_name(terminal_name(node.annotation))
+            if ann_spec is not None:
+                self._scope.spec_vars[node.target.id] = ann_spec
+        if node.value is not None:
+            self._note_assignment([node.target], node.value, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        found = None
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            found = self._spec_payload(target)
+            if found is None and isinstance(target, ast.Attribute):
+                root = target.value
+                if isinstance(root, ast.Name) and root.id in self._scope.spec_vars:
+                    found = (f"{root.id}.{target.attr}", self._scope.spec_vars[root.id])
+        if found is not None:
+            self._add_mutation(node, f"{found[0]} augmented in place", found[1])
+        # dimension check: x_s += y_bytes
+        target_dim = self._dim_of(target)
+        value_dim = self._dim_of(node.value)
+        if target_dim and value_dim and target_dim != value_dim and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            self._unit_violation(
+                node,
+                f"{self._describe(target)} [{target_dim}] "
+                f"{'+=' if isinstance(node.op, ast.Add) else '-='} "
+                f"{self._describe(node.value)} [{value_dim}]",
+            )
+        self.generic_visit(node)
+
+    def _note_assignment(
+        self, targets: List[ast.expr], value: ast.expr, node: ast.AST
+    ) -> None:
+        # Mutations through subscript/attribute targets of spec payloads.
+        for target in targets:
+            if isinstance(target, (ast.Subscript,)):
+                found = self._spec_payload(target.value)
+                if found is not None:
+                    self._add_mutation(node, f"{found[0]}[...] assigned", found[1])
+            elif isinstance(target, ast.Attribute):
+                root = target.value
+                if isinstance(root, ast.Name) and root.id in self._scope.spec_vars:
+                    cls = self._scope.spec_vars[root.id]
+                    self._add_mutation(
+                        node, f"{root.id}.{target.attr} assigned", cls
+                    )
+                else:
+                    found = self._spec_payload(root)
+                    if found is not None:
+                        self._add_mutation(
+                            node, f"{found[0]}.{target.attr} assigned", found[1]
+                        )
+        # Inference for simple name targets.
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names:
+            self._check_value_dims(value)
+            return
+        if self._unordered_desc(value) is not None or (
+            isinstance(value, ast.Call) and terminal_name(value.func) in ("set", "frozenset")
+        ):
+            self._scope.set_vars.update(names)
+        # Alias tracking: payload = spec.field (or another alias/spec).
+        if isinstance(value, ast.Name) and value.id in self._scope.spec_vars:
+            for name in names:
+                self._scope.spec_vars[name] = self._scope.spec_vars[value.id]
+        else:
+            payload = self._spec_payload(value)
+            if payload is not None:
+                for name in names:
+                    self._scope.spec_aliases[name] = payload
+        if isinstance(value, ast.Call):
+            ctor = _spec_class_name(terminal_name(value.func))
+            if ctor is not None:
+                for name in names:
+                    self._scope.spec_vars[name] = ctor
+        # Dimension propagation and mismatch-on-assignment.
+        value_dim = self._dim_of(value)
+        for name in names:
+            name_dim = dimension_of_name(name)
+            if name_dim is not None and value_dim is not None and name_dim != value_dim:
+                self._unit_violation(
+                    node,
+                    f"{name} [{name_dim}] = {self._describe(value)} [{value_dim}]",
+                )
+            elif name_dim is None and value_dim is not None:
+                self._scope.dims[name] = value_dim
+
+    # -- dimensions (RPR841) -------------------------------------------
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_value_dims(node, recurse=False)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for left, right in zip(operands, operands[1:]):
+            ldim, rdim = self._dim_of(left), self._dim_of(right)
+            if ldim and rdim and ldim != rdim:
+                self._unit_violation(
+                    node,
+                    f"{self._describe(left)} [{ldim}] compared with "
+                    f"{self._describe(right)} [{rdim}]",
+                )
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and self._func_stack:
+            func_dim = dimension_of_name(self._func_stack[-1].rsplit(".", 1)[-1])
+            value_dim = self._dim_of(node.value)
+            if func_dim and value_dim and func_dim != value_dim:
+                self._unit_violation(
+                    node,
+                    f"function returns {self._describe(node.value)} [{value_dim}] "
+                    f"but its name declares [{func_dim}]",
+                )
+        self.generic_visit(node)
+
+    def _check_value_dims(self, node: ast.expr, recurse: bool = True) -> None:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            ldim, rdim = self._dim_of(node.left), self._dim_of(node.right)
+            if ldim and rdim and ldim != rdim:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._unit_violation(
+                    node,
+                    f"{self._describe(node.left)} [{ldim}] {op} "
+                    f"{self._describe(node.right)} [{rdim}]",
+                )
+
+    def _dim_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            name = terminal_name(node)
+            dim = dimension_of_name(name)
+            if dim is not None:
+                return dim
+            if isinstance(node, ast.Name):
+                return self._scope.dims.get(node.id)
+            return None
+        if isinstance(node, ast.Call):
+            callee = terminal_name(node.func)
+            if callee in ("min", "max", "abs", "sum", "sorted", "round", "float", "int"):
+                dims = {self._dim_of(arg) for arg in node.args}
+                dims.discard(None)
+                return dims.pop() if len(dims) == 1 else None
+            return dimension_of_name(callee)
+        if isinstance(node, ast.UnaryOp):
+            return self._dim_of(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                ldim, rdim = self._dim_of(node.left), self._dim_of(node.right)
+                if ldim is not None and (rdim is None or rdim == ldim):
+                    return ldim
+                if rdim is not None and ldim is None:
+                    return rdim
+            # Mult/Div legitimately change dimension: bytes / seconds, ...
+            return None
+        return None
+
+    @staticmethod
+    def _describe(node: ast.expr) -> str:
+        return dotted_name(node) or terminal_name(node) or "<expr>"
+
+    def _unit_violation(self, node: ast.AST, detail: str) -> None:
+        # RULES catalog lives in rules8xx; import at call time to avoid a
+        # module cycle (rules8xx imports flow for the data types).
+        from repro.analysis.rules8xx import RULES_8XX
+
+        summary, fixit = RULES_8XX["RPR841"]
+        self.summary.local.append(
+            Violation(
+                path=self.summary.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code="RPR841",
+                message=f"{summary}: {detail}",
+                fixit=fixit,
+            )
+        )
+
+
+def extract_module(source: str, path: str, tree: Optional[ast.AST] = None) -> ModuleSummary:
+    """Distill one module's source into its :class:`ModuleSummary`."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    extractor = ModuleExtractor(module_name_for(path), path)
+    extractor.visit(tree)
+    return extractor.summary
+
+
+# ----------------------------------------------------------------------
+# Whole-program passes
+# ----------------------------------------------------------------------
+
+
+class Project:
+    """The program: summaries plus the graphs/propagations over them."""
+
+    def __init__(
+        self,
+        summaries: Sequence[ModuleSummary],
+        taint_scope: Sequence[str] = DEFAULT_TAINT_SCOPE,
+    ) -> None:
+        self.summaries: List[ModuleSummary] = list(summaries)
+        self.taint_scope = tuple(taint_scope)
+        self.by_module: Dict[str, ModuleSummary] = {
+            summary.module: summary for summary in self.summaries
+        }
+        #: qualname -> defining module
+        self.functions: Dict[str, str] = {}
+        for summary in self.summaries:
+            for qualname in summary.functions:
+                self.functions[qualname] = summary.module
+        #: class name -> True when a frozen spec-like dataclass anywhere
+        self.frozen_specs: Set[str] = {
+            name
+            for summary in self.summaries
+            for name, info in summary.classes.items()
+            if info.frozen_dataclass and info.spec_like
+        }
+        self._resolved: Dict[Tuple[str, str, str], Optional[str]] = {}
+        self._build_graph()
+        self._propagate()
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, summary: ModuleSummary, caller: str, callee: str) -> Optional[str]:
+        """Resolve a call-site's dotted text to a defined qualname, or None.
+
+        Under-approximating on purpose: only local names, imported
+        names, absolute dotted paths, and ``self.method`` within the
+        defining class resolve; anything dynamic stays unresolved.
+        """
+        key = (summary.module, caller, callee)
+        if key in self._resolved:
+            return self._resolved[key]
+        result = self._resolve_uncached(summary, caller, callee)
+        self._resolved[key] = result
+        return result
+
+    def _resolve_uncached(
+        self, summary: ModuleSummary, caller: str, callee: str
+    ) -> Optional[str]:
+        parts = callee.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and len(parts) == 2:
+            # caller is "<module>.<Class>.<method>"; siblings resolve.
+            prefix = caller.rsplit(".", 1)[0]
+            return self._lookup(f"{prefix}.{parts[1]}")
+        candidate = self._lookup(f"{summary.module}.{callee}")
+        if candidate is not None:
+            return candidate
+        if head in summary.imports:
+            target = summary.imports[head]
+            full = target if len(parts) == 1 else f"{target}.{'.'.join(parts[1:])}"
+            return self._lookup(full)
+        return self._lookup(callee)
+
+    def _lookup(self, qualname: str) -> Optional[str]:
+        if qualname in self.functions:
+            return qualname
+        init = f"{qualname}.__init__"
+        if init in self.functions:
+            return init
+        return None
+
+    # -- graphs --------------------------------------------------------
+    def _build_graph(self) -> None:
+        #: callee qualname -> set of caller qualnames (reverse call graph)
+        self.callers_of: Dict[str, Set[str]] = {}
+        #: caller qualname -> direct sink terminal it calls (RPR831)
+        self.direct_sink: Dict[str, str] = {}
+        for summary in self.summaries:
+            for site in summary.calls:
+                target = self.resolve(summary, site.caller, site.callee)
+                if target is not None:
+                    self.callers_of.setdefault(target, set()).add(site.caller)
+                terminal = site.callee.rsplit(".", 1)[-1]
+                if terminal in DETERMINISM_SINKS and site.caller not in self.direct_sink:
+                    self.direct_sink[site.caller] = terminal
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """module -> set of analyzed modules it imports (direct edges)."""
+        known = set(self.by_module)
+        graph: Dict[str, Set[str]] = {}
+        for summary in self.summaries:
+            edges: Set[str] = set()
+            for target in summary.imports.values():
+                probe = target
+                while probe:
+                    if probe in known and probe != summary.module:
+                        edges.add(probe)
+                        break
+                    probe = probe.rpartition(".")[0]
+            graph[summary.module] = edges
+        return graph
+
+    # -- propagation ---------------------------------------------------
+    def _propagate(self) -> None:
+        #: qualname -> {kind: (detail-or-via, next-hop-or-None)}
+        self.taint: Dict[str, Dict[str, Tuple[str, Optional[str]]]] = {}
+        seeds: List[Tuple[str, str, str]] = []
+        for summary in self.summaries:
+            for qualname, entries in summary.taints.items():
+                for kind, detail in entries:
+                    seeds.append((qualname, kind, detail))
+        for qualname, kind, detail in seeds:
+            self.taint.setdefault(qualname, {}).setdefault(kind, (detail, None))
+        work = [(qualname, kind) for qualname, kind, _ in seeds]
+        while work:
+            tainted, kind = work.pop()
+            for caller in self.callers_of.get(tainted, ()):
+                kinds = self.taint.setdefault(caller, {})
+                if kind not in kinds:
+                    kinds[kind] = ("via", tainted)
+                    work.append((caller, kind))
+        #: qualname -> sink terminal (directly or transitively reached)
+        self.reaches_sink: Dict[str, Tuple[str, Optional[str]]] = {
+            qualname: (terminal, None) for qualname, terminal in self.direct_sink.items()
+        }
+        work2 = list(self.reaches_sink)
+        while work2:
+            reaching = work2.pop()
+            terminal = self.reaches_sink[reaching][0]
+            for caller in self.callers_of.get(reaching, ()):
+                if caller not in self.reaches_sink:
+                    self.reaches_sink[caller] = (terminal, reaching)
+                    work2.append(caller)
+
+    def taint_chain(self, qualname: str, kind: str) -> List[str]:
+        """Human-readable hop list from ``qualname`` down to the source."""
+        chain: List[str] = []
+        current: Optional[str] = qualname
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            chain.append(current.rsplit(".", 1)[-1])
+            entry = self.taint.get(current, {}).get(kind)
+            if entry is None:
+                break
+            detail, nxt = entry
+            if nxt is None:
+                chain.append(f"{detail}()")
+                break
+            current = nxt
+        return chain
+
+    def sink_chain(self, qualname: str) -> List[str]:
+        chain: List[str] = []
+        current: Optional[str] = qualname
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            chain.append(current.rsplit(".", 1)[-1])
+            terminal, nxt = self.reaches_sink[current]
+            if nxt is None:
+                chain.append(f"{terminal}()")
+                break
+            current = nxt
+        return chain
+
+    def in_taint_scope(self, module: str) -> bool:
+        """Whether RPR811-813 report call sites in this module."""
+        if module != "repro" and not module.startswith("repro."):
+            return True  # explicitly linted external file (fixtures, scripts)
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.taint_scope
+        )
+
+
+# ----------------------------------------------------------------------
+# The incremental summary cache
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """How much work a lint run actually did."""
+
+    files: int = 0
+    parsed: int = 0
+    reused: int = 0
+
+
+class SummaryCache:
+    """Content-hash-keyed store of :class:`ModuleSummary` values.
+
+    The key is the file's SHA-256 plus a signature of the analyzer
+    itself (rule catalog + registry kinds), so editing a file, adding a
+    rule, or registering a new scheduler kind each invalidate exactly
+    what they must.  ``path=None`` gives an inert in-memory cache.
+    """
+
+    def __init__(self, path: Optional[Path], signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except (ValueError, OSError):
+                data = {}
+            if (
+                data.get("version") == CACHE_VERSION
+                and data.get("signature") == signature
+            ):
+                self._entries = data.get("files", {})
+
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def lookup(self, path: str, sha: str) -> Optional[ModuleSummary]:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            return ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, path: str, sha: str, summary: ModuleSummary) -> None:
+        self._entries[path] = {"sha": sha, "summary": summary.to_dict()}
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        document = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "files": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(document, sort_keys=True))
+        self._dirty = False
+
+
+def analyzer_signature(rules: Iterable[str], registries: Dict[str, Set[str]]) -> str:
+    """Cache signature: rule catalog + registry kind sets + version."""
+    payload = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "rules": sorted(rules),
+            "registries": {key: sorted(value) for key, value in registries.items()},
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

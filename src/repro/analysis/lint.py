@@ -22,28 +22,53 @@ RPR701   no cross-package imports of underscore-prefixed names
 RPR901   no event-queue manipulation outside ``repro.sim.engine``
 =======  ==========================================================
 
+These are per-module, syntactic rules.  The **RPR8xx family**
+(:mod:`repro.analysis.rules8xx`) upgrades them to whole-program,
+semantic ones -- interprocedural wall-clock/RNG taint (RPR811-813),
+frozen-spec aliasing (RPR821), unordered iteration feeding event order
+(RPR831), and units discipline (RPR841) -- using the call graph and
+dataflow built by :mod:`repro.analysis.flow`.
+
 Each violation carries a fix-it hint.  A rule can be suppressed on one
 line with ``# repro: noqa[RPR101]`` (or all rules with
 ``# repro: noqa``); suppressions are deliberate, so say *why* in a
-neighbouring comment.
+neighbouring comment.  Accepted pre-existing findings live in a
+committed baseline (:mod:`repro.analysis.baseline`) instead.
 
-Use :func:`lint_paths` / :func:`lint_source` programmatically, or the
-CLI form which exits non-zero when any violation survives::
+Use :func:`lint_paths` / :func:`lint_source` programmatically,
+:func:`run_lint` for the full pipeline (incremental cache, baseline,
+stats), or the CLI form which exits non-zero when any violation
+survives::
 
     python -m repro.cli lint            # lints the installed repro package
     python -m repro.cli lint src tests  # explicit files or directories
+    python -m repro.cli lint --sarif out.sarif --baseline lint-baseline.json
 """
 
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-#: Rule catalog: code -> (summary, fix-it hint).
-RULES: Dict[str, Tuple[str, str]] = {
+from repro.analysis import flow as _flow
+from repro.analysis.flow import (
+    CacheStats,
+    ModuleSummary,
+    Project,
+    SummaryCache,
+    Violation,
+    analyzer_signature,
+    apply_noqa,
+    dotted_name as _dotted_name,
+    extract_module,
+    terminal_name as _terminal_name,
+)
+from repro.analysis.rules8xx import RULES_8XX, flow_violations
+
+#: Syntactic (per-module) rule catalog: code -> (summary, fix-it hint).
+SYNTACTIC_RULES: Dict[str, Tuple[str, str]] = {
     "RPR101": (
         "wall-clock read in simulation code",
         "use the simulator clock (sim.now); real time breaks determinism",
@@ -96,25 +121,12 @@ RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
-#: Dotted call targets that read the wall clock.
-_WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "datetime.now",
-        "datetime.utcnow",
-        "datetime.today",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "date.today",
-        "datetime.date.today",
-    }
-)
+#: The full catalog: syntactic rules plus the semantic RPR8xx family.
+RULES: Dict[str, Tuple[str, str]] = {**SYNTACTIC_RULES, **RULES_8XX}
+
+#: Dotted call targets that read the wall clock (shared with the taint
+#: pass in :mod:`repro.analysis.flow`).
+_WALL_CLOCK_CALLS = _flow.WALL_CLOCK_CALLS
 
 #: Terminal identifiers treated as simulated timestamps for RPR301.
 _TIME_NAMES = frozenset(
@@ -165,44 +177,6 @@ _EVENT_QUEUE_ALLOWLIST = ("repro/sim/engine.py",)
 #: job is writing to stdout (RPR601).  Library code reports through the
 #: run journal, the timeline exporters, or a ProgressEvent sink.
 _PRINT_ALLOWLIST = ("repro/cli.py",)
-
-_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One finding: where, which rule, and how to fix it."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-    fixit: str
-
-    def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message} ({self.fixit})"
-
-
-def _dotted_name(node: ast.expr) -> Optional[str]:
-    """'a.b.c' for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _terminal_name(node: ast.expr) -> Optional[str]:
-    """The last identifier of a Name or Attribute expression."""
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
 
 
 def _registries() -> Dict[str, Set[str]]:
@@ -480,11 +454,11 @@ class _Linter(ast.NodeVisitor):
             for terminal in _annotation_names(statement.annotation):
                 if terminal in _LIVE_OBJECT_TYPES:
                     target = statement.target
-                    field = target.id if isinstance(target, ast.Name) else "<field>"
+                    field_name = target.id if isinstance(target, ast.Name) else "<field>"
                     self.add(
                         statement,
                         "RPR402",
-                        f"{node.name}.{field} annotated {terminal}",
+                        f"{node.name}.{field_name} annotated {terminal}",
                     )
                     break
 
@@ -497,12 +471,12 @@ class _Linter(ast.NodeVisitor):
                 and statement.value is not None
             ):
                 continue
-            field = statement.target.id
-            if field in ("scheduler", "congestion_control"):
+            field_name = statement.target.id
+            if field_name in ("scheduler", "congestion_control"):
                 value = statement.value
                 if isinstance(value, ast.Constant) and isinstance(value.value, str):
-                    self._check_kind(statement, _field_registry(field), value.value)
-            elif field == "schedulers" and isinstance(statement.value, ast.Tuple):
+                    self._check_kind(statement, _field_registry(field_name), value.value)
+            elif field_name == "schedulers" and isinstance(statement.value, ast.Tuple):
                 for element in statement.value.elts:
                     if isinstance(element, ast.Constant) and isinstance(
                         element.value, str
@@ -528,32 +502,20 @@ def _annotation_names(annotation: ast.expr) -> Set[str]:
     return names
 
 
-def _field_registry(field: str) -> str:
-    return "scheduler" if field == "scheduler" else "congestion_control"
+def _field_registry(field_name: str) -> str:
+    return "scheduler" if field_name == "scheduler" else "congestion_control"
 
 
-def _suppressed_codes(line: str) -> Optional[Set[str]]:
-    """Codes a ``# repro: noqa`` comment suppresses; None = no comment,
-    empty set = blanket suppression."""
-    match = _NOQA_RE.search(line)
-    if match is None:
-        return None
-    codes = match.group("codes")
-    if codes is None:
-        return set()
-    return {code.strip() for code in codes.split(",") if code.strip()}
-
-
-def _apply_noqa(violations: List[Violation], source: str) -> List[Violation]:
-    lines = source.splitlines()
-    kept: List[Violation] = []
-    for violation in violations:
-        line = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
-        suppressed = _suppressed_codes(line)
-        if suppressed is not None and (not suppressed or violation.code in suppressed):
-            continue
-        kept.append(violation)
-    return kept
+def _select_filter(
+    violations: List[Violation], select: Optional[Iterable[str]]
+) -> List[Violation]:
+    if select is None:
+        return violations
+    wanted = {code.upper() for code in select}
+    unknown = wanted - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    return [v for v in violations if v.code in wanted]
 
 
 def lint_source(
@@ -562,22 +524,18 @@ def lint_source(
     select: Optional[Iterable[str]] = None,
     registries: Optional[Dict[str, Set[str]]] = None,
 ) -> List[Violation]:
-    """Lint one module's source text.
+    """Lint one module's source text with the syntactic rules.
 
     ``select`` restricts to the given rule codes; ``registries``
     overrides the kind-name sets (tests use this to avoid importing the
-    whole library).
+    whole library).  The whole-program RPR8xx rules need more than one
+    module's text -- they run in :func:`run_lint` / :func:`lint_paths`.
     """
     tree = ast.parse(source, filename=path)
     linter = _Linter(path, _registries() if registries is None else registries)
     linter.visit(tree)
-    violations = _apply_noqa(linter.violations, source)
-    if select is not None:
-        wanted = {code.upper() for code in select}
-        unknown = wanted - set(RULES)
-        if unknown:
-            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
-        violations = [v for v in violations if v.code in wanted]
+    violations = apply_noqa(linter.violations, source)
+    violations = _select_filter(violations, select)
     return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.code))
 
 
@@ -594,18 +552,109 @@ def iter_python_files(paths: Sequence[Path]) -> List[Path]:
     return sorted(files)
 
 
+@dataclass
+class LintRun:
+    """Everything one pipeline run produced.
+
+    ``violations`` is what gates CI (noqa-, select-, and
+    baseline-filtered); ``all_violations`` is the pre-baseline view
+    ``--update-baseline`` snapshots; ``stats`` carries the cache
+    counters the incremental tests assert on.
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    all_violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    stats: CacheStats = field(default_factory=CacheStats)
+    project: Optional[Project] = None
+
+
+def run_lint(
+    paths: Sequence,
+    select: Optional[Iterable[str]] = None,
+    registries: Optional[Dict[str, Set[str]]] = None,
+    cache_path: Optional[Path] = None,
+    baseline: Optional[Dict] = None,
+    only_paths: Optional[Set[str]] = None,
+    taint_scope: Sequence[str] = _flow.DEFAULT_TAINT_SCOPE,
+) -> LintRun:
+    """The full pipeline: parse (or reuse), analyze, filter, report.
+
+    Per file: read + hash, then either reuse the cached
+    :class:`~repro.analysis.flow.ModuleSummary` (which carries the
+    already-noqa'd per-module findings) or parse once and run both the
+    syntactic linter and the flow extractor over the same tree.  The
+    whole-program passes then run over all summaries -- cached or fresh
+    -- and their findings get noqa'd against the sources read for
+    hashing.  ``only_paths`` (``--changed``) restricts *reporting* to
+    those files while still analyzing the whole program, so an
+    interprocedural finding in a changed file still sees its unchanged
+    callees.
+    """
+    if registries is None:
+        registries = _registries()
+    signature = analyzer_signature(RULES, registries)
+    cache = SummaryCache(cache_path, signature)
+    stats = CacheStats()
+    summaries: List[ModuleSummary] = []
+    sources: Dict[str, str] = {}
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        key = str(file_path)
+        source = file_path.read_text()
+        sources[key] = source
+        sha = SummaryCache.digest(source)
+        stats.files += 1
+        summary = cache.lookup(key, sha)
+        if summary is None:
+            stats.parsed += 1
+            tree = ast.parse(source, filename=key)
+            linter = _Linter(key, registries)
+            linter.visit(tree)
+            summary = extract_module(source, key, tree=tree)
+            # Per-module findings (syntactic + RPR841 from the extractor)
+            # are noqa'd here and cached noqa'd: the noqa comment lives in
+            # the same file, so the content hash covers it.
+            summary.local = apply_noqa(summary.local + linter.violations, source)
+            cache.store(key, sha, summary)
+        else:
+            stats.reused += 1
+        summaries.append(summary)
+    cache.save()
+
+    project = Project(summaries, taint_scope=taint_scope)
+    per_file: Dict[str, List[Violation]] = {}
+    for summary in summaries:
+        per_file.setdefault(summary.path, []).extend(summary.local)
+    for violation in flow_violations(project):
+        per_file.setdefault(violation.path, []).append(violation)
+    merged: List[Violation] = []
+    for path_key, violations in per_file.items():
+        merged.extend(apply_noqa(violations, sources.get(path_key, "")))
+    merged = _select_filter(merged, select)
+    if only_paths is not None:
+        resolved = {str(Path(p).resolve()) for p in only_paths}
+        merged = [v for v in merged if str(Path(v.path).resolve()) in resolved]
+    merged.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    run = LintRun(all_violations=merged, stats=stats, project=project)
+    if baseline is not None:
+        from repro.analysis.baseline import apply_baseline
+
+        run.violations, run.suppressed = apply_baseline(merged, baseline)
+    else:
+        run.violations = merged
+    return run
+
+
 def lint_paths(
     paths: Sequence, select: Optional[Iterable[str]] = None
 ) -> List[Violation]:
-    """Lint files and/or directory trees; returns all violations."""
-    registries = _registries()
-    violations: List[Violation] = []
-    for file_path in iter_python_files([Path(p) for p in paths]):
-        source = file_path.read_text()
-        violations.extend(
-            lint_source(source, str(file_path), select=select, registries=registries)
-        )
-    return violations
+    """Lint files and/or directory trees; returns all violations.
+
+    Runs the full rule set -- syntactic and whole-program -- without a
+    cache or baseline.  :func:`run_lint` exposes both.
+    """
+    return run_lint(paths, select=select).violations
 
 
 def default_lint_root() -> Path:

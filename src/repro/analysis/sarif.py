@@ -1,0 +1,165 @@
+"""SARIF 2.1.0 output for the lint: findings as code-scanning data.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning, VS Code SARIF viewers, and most CI dashboards
+ingest.  ``python -m repro.cli lint --sarif out.sarif`` writes one run
+with the full rule catalog embedded, so annotations land on the exact
+line/column in a pull request.
+
+:func:`validate` structurally checks a document against the parts of
+the 2.1.0 schema this tool exercises (no external schema dependency in
+the container); the tests round-trip every fixture through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.flow import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/ecf-repro/repro"
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Dict[str, Tuple[str, str]],
+) -> Dict[str, Any]:
+    """One SARIF 2.1.0 document for a lint run.
+
+    ``rules`` is the full catalog (code -> (summary, fixit)); every
+    rule is embedded even when it has no results, so a dashboard can
+    show coverage, and ``ruleIndex`` links each result back to it.
+    """
+    ordered_codes = sorted(rules)
+    rule_index = {code: index for index, code in enumerate(ordered_codes)}
+    driver_rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": rules[code][0]},
+            "help": {"text": rules[code][1]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in ordered_codes
+    ]
+    results = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.code,
+                "ruleIndex": rule_index.get(violation.code, -1),
+                "level": "error",
+                "message": {"text": f"{violation.message} ({violation.fixit})"},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path.replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": violation.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate(document: Any) -> List[str]:
+    """Structural problems in a SARIF document; empty list = valid.
+
+    Checks the 2.1.0 constraints this tool's output exercises: the
+    version marker, the runs array, tool.driver.name, and for every
+    result a ruleId, a message with text, and physical locations with
+    1-based line/column integers.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(
+            f"version must be {SARIF_VERSION!r}, got {document.get('version')!r}"
+        )
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty array")
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        driver = (run.get("tool") or {}).get("driver") if isinstance(run, dict) else None
+        if not isinstance(driver, dict) or not driver.get("name"):
+            problems.append(f"{where}.tool.driver.name is required")
+            continue
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{where}: every rule needs an id")
+            else:
+                rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for result_index, result in enumerate(results):
+            at = f"{where}.results[{result_index}]"
+            if not isinstance(result, dict):
+                problems.append(f"{at} is not an object")
+                continue
+            if not result.get("ruleId"):
+                problems.append(f"{at}.ruleId is required")
+            elif rule_ids and result["ruleId"] not in rule_ids:
+                problems.append(
+                    f"{at}.ruleId {result['ruleId']!r} is not in the driver rules"
+                )
+            message = result.get("message")
+            if not isinstance(message, dict) or not message.get("text"):
+                problems.append(f"{at}.message.text is required")
+            for loc_index, location in enumerate(result.get("locations", [])):
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not isinstance(physical, dict):
+                    problems.append(f"{at}.locations[{loc_index}] lacks physicalLocation")
+                    continue
+                artifact = physical.get("artifactLocation")
+                if not isinstance(artifact, dict) or not artifact.get("uri"):
+                    problems.append(
+                        f"{at}.locations[{loc_index}] lacks artifactLocation.uri"
+                    )
+                region = physical.get("region")
+                if isinstance(region, dict):
+                    for key in ("startLine", "startColumn"):
+                        value = region.get(key)
+                        if value is not None and (
+                            not isinstance(value, int) or value < 1
+                        ):
+                            problems.append(
+                                f"{at}.locations[{loc_index}].region.{key} "
+                                f"must be a positive integer"
+                            )
+    return problems

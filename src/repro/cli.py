@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.fixtures import FIXTURE_SCHEDULERS
@@ -295,19 +296,89 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _changed_files() -> set:
+    """Paths touched vs HEAD (staged, unstaged, and untracked)."""
+    import subprocess
+
+    changed = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode == 0:
+            changed.update(line for line in proc.stdout.splitlines() if line)
+    return changed
+
+
 def cmd_lint(args) -> int:
-    from repro.analysis.lint import RULES, default_lint_root, lint_paths
+    from repro.analysis.baseline import (
+        DEFAULT_BASELINE_NAME,
+        load_baseline,
+        make_baseline,
+        save_baseline,
+    )
+    from repro.analysis.lint import RULES, default_lint_root, run_lint
 
     if args.list_rules:
         for code, (summary, fixit) in sorted(RULES.items()):
             print(f"{code}  {summary}\n        fix: {fixit}")
         return 0
     paths = args.paths or [default_lint_root()]
-    violations = lint_paths(paths, select=args.select)
-    for violation in violations:
+
+    only_paths = None
+    if args.changed:
+        only_paths = {p for p in _changed_files() if p.endswith(".py")}
+        if not only_paths:
+            print("lint: no changed python files", file=sys.stderr)
+            return 0
+
+    baseline_path = args.baseline
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        baseline = load_baseline(baseline_path)
+
+    cache_path = None if args.no_cache else Path(args.cache)
+    run = run_lint(
+        paths,
+        select=args.select,
+        cache_path=cache_path,
+        baseline=baseline,
+        only_paths=only_paths,
+    )
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        save_baseline(make_baseline(run.all_violations), target)
+        print(
+            f"lint: wrote {len(run.all_violations)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.sarif is not None:
+        import json as _json
+
+        from repro.analysis.sarif import to_sarif
+
+        document = _json.dumps(to_sarif(run.violations, RULES), indent=2)
+        if args.sarif == "-":
+            print(document)
+        else:
+            Path(args.sarif).write_text(document + "\n")
+
+    for violation in run.violations:
         print(violation.format())
-    if violations:
-        print(f"{len(violations)} violation(s)", file=sys.stderr)
+    stats = run.stats
+    summary = (
+        f"lint: {stats.files} file(s), {stats.parsed} parsed, "
+        f"{stats.reused} cached"
+    )
+    if run.suppressed:
+        summary += f", {run.suppressed} baselined"
+    print(summary, file=sys.stderr)
+    if run.violations:
+        print(f"{len(run.violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
 
@@ -876,6 +947,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    p.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="write findings as SARIF 2.1.0 to FILE ('-' for stdout)",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings recorded in this baseline file; anything "
+        "new still fails",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="snapshot the current findings into the baseline "
+        "(--baseline path, or lint-baseline.json) and exit 0",
+    )
+    p.add_argument(
+        "--changed", action="store_true",
+        help="report findings only for files changed vs HEAD (the whole "
+        "program is still analyzed, so cross-file findings stay accurate)",
+    )
+    p.add_argument(
+        "--cache", metavar="FILE", default=".repro-lint-cache.json",
+        help="incremental per-file summary cache (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="parse every file fresh; do not read or write the cache",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -105,25 +105,36 @@ class CampaignRunner:
         """Register specs as jobs; returns how many were new (idempotent)."""
         return self.store.add_jobs(self.campaign_id, specs)
 
-    def drain(self, limit: Optional[int] = None) -> Dict[str, int]:
+    def drain(
+        self, limit: Optional[int] = None, reset_orphans: bool = True
+    ) -> Dict[str, int]:
         """Run pending jobs through the backend until none remain.
 
         Orphaned ``running`` jobs (a previous drain died) are reset
-        first.  Failures do not abort the drain (``keep_going``); they
-        land in ``failed`` with their error and any postmortem path, for
-        ``requeue`` to pick up.  ``limit`` bounds how many jobs this
-        call claims (mainly for tests and incremental draining).
+        first -- pass ``reset_orphans=False`` when several drainers
+        share the campaign live, so they cannot steal each other's
+        in-flight jobs.  Claiming is the filter: each pending job is
+        taken with the store's atomic claim, and jobs another runner
+        claimed in the meantime are skipped, so concurrent drains
+        partition the work instead of re-running it.  Failures do not
+        abort the drain (``keep_going``); they land in ``failed`` with
+        their error and any postmortem path, for ``requeue`` to pick
+        up.  ``limit`` bounds how many jobs this call claims (mainly
+        for tests and incremental draining).
 
         Returns the per-status counts after the drain.
         """
-        self.store.reset_running(self.campaign_id)
-        pending = self.store.jobs(self.campaign_id, status=PENDING)
-        if limit is not None:
-            pending = pending[: max(0, int(limit))]
-        if pending:
-            specs = [spec_from_dict(job.spec) for job in pending]
-            for job in pending:
-                self.store.claim(self.campaign_id, job.spec_hash)
+        if reset_orphans:
+            self.store.reset_running(self.campaign_id)
+        claimed = []
+        budget = None if limit is None else max(0, int(limit))
+        for job in self.store.jobs(self.campaign_id, status=PENDING):
+            if budget is not None and len(claimed) >= budget:
+                break
+            if self.store.claim(self.campaign_id, job.spec_hash):
+                claimed.append(job)
+        if claimed:
+            specs = [spec_from_dict(job.spec) for job in claimed]
 
             cache = ResultCache(self.cache_dir)
 

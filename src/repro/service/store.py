@@ -27,6 +27,10 @@ Invariants enforced here rather than by callers:
 * job identity is ``(campaign, spec_hash)`` -- re-submitting a spec that
   is already part of the campaign is a no-op (idempotent submit);
 * every status change must be a legal transition (``_TRANSITIONS``);
+* claims are **process-atomic**: :meth:`CampaignStore.claim` is a single
+  conditional ``UPDATE ... WHERE status = 'pending'``, so two runners
+  draining the same campaign race safely -- exactly one wins each job,
+  the loser just moves on;
 * claiming a job for execution bumps its attempt counter, and
   ``requeue_failed`` refuses jobs that already burned ``max_attempts``.
 """
@@ -160,6 +164,9 @@ class CampaignStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.row_factory = sqlite3.Row
+        # Concurrent drainers hit brief write locks; wait them out
+        # instead of surfacing sqlite3.OperationalError to callers.
+        self._conn.execute("PRAGMA busy_timeout = 5000")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
 
@@ -323,9 +330,30 @@ class CampaignStore:
         )
         self._conn.commit()
 
-    def claim(self, campaign_id: int, key: str) -> None:
-        """Take a pending job for execution (bumps its attempt count)."""
-        self._transition(campaign_id, key, RUNNING, bump_attempts=True)
+    def claim(self, campaign_id: int, key: str) -> bool:
+        """Atomically take a pending job for execution.
+
+        One conditional ``UPDATE`` guarded on ``status = 'pending'``:
+        when several drainers race for the same job, SQLite serializes
+        the writes and exactly one caller flips the row (and bumps its
+        attempt count).  Returns ``True`` when this caller won the
+        claim; ``False`` when the job exists but was no longer pending
+        (another runner took it, or it already finished).  Raises
+        :class:`KeyError` for a job that is not in the campaign at all.
+        """
+        cursor = self._conn.execute(
+            "UPDATE jobs SET status = ?, attempts = attempts + 1,"
+            " updated_wall = ?"
+            " WHERE campaign_id = ? AND spec_hash = ? AND status = ?",
+            # Bookkeeping timestamp, not simulation state.
+            (RUNNING, time.time(), campaign_id, key, PENDING),  # repro: noqa[RPR101]
+        )
+        self._conn.commit()
+        if cursor.rowcount > 0:
+            return True
+        if self.job(campaign_id, key) is None:
+            raise KeyError(f"no job {key!r} in campaign {campaign_id}")
+        return False
 
     def mark_done(
         self,
@@ -371,9 +399,11 @@ class CampaignStore:
     def reset_running(self, campaign_id: int) -> int:
         """Crash recovery: return orphaned ``running`` jobs to ``pending``.
 
-        Call this before a drain; any job still marked running belongs to
-        a dead process (drains are single-owner), so it is safe to take
-        back.  Returns how many were reset.
+        Only call this when no other drainer is live: a ``running`` row
+        then necessarily belongs to a dead process and is safe to take
+        back.  Concurrent drainers skip this step
+        (``drain(reset_orphans=False)``) so they cannot steal each
+        other's in-flight jobs.  Returns how many were reset.
         """
         reset = 0
         for job in self.jobs(campaign_id, status=RUNNING):

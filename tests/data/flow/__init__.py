@@ -1,0 +1,9 @@
+"""Seeded whole-program fixtures for the RPR8xx rules (linted, not run).
+
+Each module plants exactly the cross-module pattern one rule exists to
+catch -- wall-clock reads hidden behind helper hops, frozen-spec
+payloads mutated through aliases, set iteration feeding the event
+queue, mixed-dimension arithmetic -- plus one deliberately clean module
+the analyzer must stay quiet on and one whose findings are suppressed
+with ``# repro: noqa[...]``.  ``tests/test_flow.py`` asserts all of it.
+"""

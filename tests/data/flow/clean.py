@@ -1,0 +1,24 @@
+"""The control: idiomatic code every RPR8xx rule must stay quiet on."""
+
+import dataclasses
+
+from tests.data.flow.specmut import RouteSpec
+
+
+def transfer_time_s(size_bytes, rate_bps):
+    return size_bytes * 8 / rate_bps  # division converts the dimension
+
+
+def flush_sorted(sim, items):
+    for item in sorted(items):  # explicit order before scheduling
+        sim.schedule(0.0, item)
+
+
+def draw(rng):
+    return rng.random()  # injected stream, not module state
+
+
+def widened(spec: RouteSpec):
+    weights = list(spec.weights)  # copy, then mutate the copy
+    weights.append(1.0)
+    return dataclasses.replace(spec, weights=weights)

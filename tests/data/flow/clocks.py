@@ -1,0 +1,7 @@
+"""The taint source: one wall-clock read, for the RPR811 fixtures."""
+
+import time
+
+
+def read_clock():
+    return time.time()  # RPR101 here; everything that calls it is RPR811

@@ -1,0 +1,16 @@
+"""RPR811 fixture: the wall clock two helper hops down, cross-module."""
+
+from tests.data.flow.clocks import read_clock
+
+
+def first_hop():
+    return read_clock()  # RPR811: one hop from time.time()
+
+
+def second_hop():
+    return first_hop()  # RPR811: chain second_hop -> first_hop -> ...
+
+
+def annotate(report):
+    report["at"] = second_hop()  # RPR811: two helper hops deep
+    return report

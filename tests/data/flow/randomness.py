@@ -1,0 +1,19 @@
+"""RPR812/RPR813 fixtures: hidden module-state draws and RNG construction."""
+
+import random
+
+
+def roll():
+    return random.random()  # RPR102; callers are RPR812
+
+
+def noisy(value):
+    return value + roll()  # RPR812: reaches random.random()
+
+
+def build_stream(seed):
+    return random.Random(seed)  # RPR103; callers are RPR813
+
+
+def stream_for(name):
+    return build_stream(hash(name))  # RPR813: reaches random.Random(...)

@@ -1,0 +1,22 @@
+"""RPR821 fixture: a frozen spec's mutable payload mutated via an alias.
+
+``RouteSpec`` is frozen, but freezing only locks the *fields*; the list
+a field points at is still mutable, and RPR402's annotation check never
+sees the alias.  The flow analyzer tracks ``weights = spec.weights``
+and flags the ``append``.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    names: Tuple[str, ...] = ()
+    weights: List[float] = None  # mutable payload behind a frozen facade
+
+
+def widen(spec: RouteSpec):
+    weights = spec.weights  # alias into the frozen spec's payload
+    weights.append(1.0)  # RPR821: mutates state reachable from RouteSpec
+    return weights

@@ -1,0 +1,9 @@
+"""Noqa fixture: a real RPR811 finding deliberately waived in-line."""
+
+from tests.data.flow.clocks import read_clock
+
+
+def profiled(report):
+    # Host-time annotation on an offline report, not simulation state.
+    report["wall"] = read_clock()  # repro: noqa[RPR811]
+    return report

@@ -1,0 +1,10 @@
+"""RPR841 fixtures: dimension suffixes violated through dataflow."""
+
+
+def padded_deadline(delay_s, size_bytes):
+    budget_s = delay_s  # dimension propagates through the assignment
+    return budget_s + size_bytes  # RPR841: seconds + bytes
+
+
+def window_pkts(window_bytes):
+    return window_bytes  # RPR841: *_pkts function returns bytes

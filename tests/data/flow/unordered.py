@@ -1,0 +1,12 @@
+"""RPR831 fixture: set iteration feeding the event queue indirectly."""
+
+from typing import Set
+
+
+def enqueue(sim, item):
+    sim.schedule(0.0, item)  # the sink, one call away from the loop
+
+
+def flush(sim, items: Set[str]):
+    for item in items:  # RPR831: set order decides event insertion order
+        enqueue(sim, item)

@@ -136,10 +136,11 @@ class TestStore:
             key = spec_hash(spec)
             with pytest.raises(TransitionError):
                 store.mark_failed(cid, key, "Boom", "pending cannot fail")
-            store.claim(cid, key)
+            assert store.claim(cid, key) is True
             store.mark_done(cid, key)
-            with pytest.raises(TransitionError):
-                store.claim(cid, key)  # done is terminal
+            # Done is terminal: the claim is simply lost, not an error
+            # (another racing runner losing a claim is routine).
+            assert store.claim(cid, key) is False
             with pytest.raises(KeyError):
                 store.claim(cid, "no-such-hash")
 
@@ -378,3 +379,76 @@ class TestCampaignRunner:
             )
             counts = runner.run(specs) and runner.status()
             assert counts["done"] == 3
+
+
+class TestConcurrentDrain:
+    """Two runners on one campaign: atomic claims partition the work."""
+
+    @staticmethod
+    def _flaky_specs(tmp_path, n):
+        # succeed_after=1: each job succeeds on its first attempt, so any
+        # attempts > 1 below can only mean a double execution.
+        return [
+            FlakySpec(marker=str(tmp_path / f"marker-{i}.txt"), succeed_after=1)
+            for i in range(n)
+        ]
+
+    def test_claim_race_has_one_winner(self, tmp_path):
+        db = tmp_path / "c.db"
+        with CampaignStore(db) as a, CampaignStore(db) as b:
+            cid = a.ensure_campaign("sweep", {"kind": "inline"})
+            (spec,) = self._flaky_specs(tmp_path, 1)
+            a.add_jobs(cid, [spec])
+            key = spec_hash(spec)
+            wins = [a.claim(cid, key), b.claim(cid, key)]
+            assert sorted(wins) == [False, True]
+            assert a.job(cid, key).attempts == 1
+
+    def test_two_runners_split_the_jobs(self, tmp_path):
+        import threading
+
+        db = tmp_path / "c.db"
+        specs = self._flaky_specs(tmp_path, 8)
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            runner.submit(specs)
+
+        errors = []
+
+        def drain_all(worker: str) -> None:
+            # Each worker opens its own connection (sqlite3 connections
+            # are thread-bound) and never resets orphans: a live peer's
+            # running jobs are not up for grabs.
+            try:
+                with CampaignStore(db) as store:
+                    worker_runner = CampaignRunner(
+                        store, "sweep", cache_dir=tmp_path / "cache"
+                    )
+                    while True:
+                        counts = worker_runner.drain(
+                            limit=1, reset_orphans=False
+                        )
+                        if counts["pending"] == 0:
+                            break
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((worker, exc))
+
+        threads = [
+            threading.Thread(target=drain_all, args=(name,))
+            for name in ("alpha", "beta")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(store, "sweep", cache_dir=tmp_path / "cache")
+            counts = runner.status()
+            assert counts["done"] == 8
+            assert counts["pending"] == counts["running"] == counts["failed"] == 0
+            # The invariant the atomic claim buys: no job ran twice.
+            for spec in specs:
+                job = store.job(runner.campaign_id, spec_hash(spec))
+                assert job.attempts == 1
