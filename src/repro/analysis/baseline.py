@@ -37,9 +37,24 @@ DEFAULT_BASELINE_NAME = "lint-baseline.json"
 PathLike = Union[str, Path]
 
 
+def normalize_path(path: PathLike) -> str:
+    """Invocation-independent form of a finding's path.
+
+    Paths under the working directory become relative POSIX paths, so
+    ``lint src/repro`` and ``lint /abs/repo/src/repro`` fingerprint
+    identically and a committed baseline matches on any machine.
+    """
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve().relative_to(Path.cwd())
+    except (OSError, ValueError):
+        pass
+    return candidate.as_posix()
+
+
 def fingerprint(violation: Violation) -> str:
     """Stable identity of a finding, independent of its line number."""
-    payload = f"{violation.path}:{violation.code}:{violation.message}"
+    payload = f"{normalize_path(violation.path)}:{violation.code}:{violation.message}"
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -57,7 +72,7 @@ def make_baseline(
         entry = findings.get(key)
         if entry is None:
             findings[key] = {
-                "path": violation.path,
+                "path": normalize_path(violation.path),
                 "code": violation.code,
                 "message": violation.message,
                 "count": 1,

@@ -40,7 +40,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Bump when the summary shape or the extraction logic changes: stale
 #: cache entries from an older analyzer must not survive an upgrade.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Dotted call targets that read the wall clock (shared with the
 #: syntactic RPR101; kept here so both layers agree on the source set).
@@ -176,6 +176,38 @@ def terminal_name(node: ast.expr) -> Optional[str]:
     return None
 
 
+def _string_tuple(node: ast.expr) -> List[str]:
+    """String elements of a tuple/list/set literal (or one bare string)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return [
+            element.value
+            for element in node.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+    return []
+
+
+def annotation_names(annotation: ast.expr) -> List[str]:
+    """Every type identifier in an annotation, forward-ref strings included."""
+    names: List[str] = []
+    for sub in ast.walk(annotation):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            terminal = terminal_name(sub)
+            if terminal is not None and terminal not in names:
+                names.append(terminal)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            for name in annotation_names(parsed.body):
+                if name not in names:
+                    names.append(name)
+    return names
+
+
 def suppressed_codes(line: str) -> Optional[Set[str]]:
     """Codes a ``# repro: noqa`` comment suppresses; None = no comment,
     empty set = blanket suppression."""
@@ -304,6 +336,40 @@ class SpecMutation:
 
 
 @dataclass
+class FieldAssign:
+    """One ``self.<name> = ...`` observed inside a class body.
+
+    ``kind`` is the extractor's local classification of the assigned
+    value (see :class:`ModuleExtractor`); kinds that need whole-program
+    knowledge to finish (``param``/``selfattr``/``paramattr``/``ref``)
+    are resolved later by :mod:`repro.analysis.state`.
+    """
+
+    name: str
+    method: str  # bare method name, or "<class>" for body annotations
+    line: int
+    col: int
+    kind: str
+    target: Optional[str] = None  # class / "Ann.attr" the value points at
+    shared: bool = False  # caller-provided mutable stored without copy
+    alias: Optional[str] = None  # local variable the value aliases
+    ann: List[str] = field(default_factory=list)  # annotation type names
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "method": self.method,
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "target": self.target,
+            "shared": self.shared,
+            "alias": self.alias,
+            "ann": list(self.ann),
+        }
+
+
+@dataclass
 class ClassInfo:
     """What the whole-program passes need to know about a class."""
 
@@ -311,6 +377,13 @@ class ClassInfo:
     frozen_dataclass: bool
     spec_like: bool  # *Spec / *Config name, or ClassVar ``kind``
     set_attrs: List[str] = field(default_factory=list)
+    bases: List[str] = field(default_factory=list)
+    is_dataclass: bool = False
+    slots: Optional[List[str]] = None  # None = no __slots__ declared
+    slots_line: int = 0
+    declared_state: Optional[List[str]] = None  # STATE_FIELDS contract
+    declared_line: int = 0
+    fields: List[FieldAssign] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -318,7 +391,22 @@ class ClassInfo:
             "frozen_dataclass": self.frozen_dataclass,
             "spec_like": self.spec_like,
             "set_attrs": list(self.set_attrs),
+            "bases": list(self.bases),
+            "is_dataclass": self.is_dataclass,
+            "slots": list(self.slots) if self.slots is not None else None,
+            "slots_line": self.slots_line,
+            "declared_state": (
+                list(self.declared_state) if self.declared_state is not None else None
+            ),
+            "declared_line": self.declared_line,
+            "fields": [assign.to_dict() for assign in self.fields],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassInfo":
+        payload = dict(data)
+        payload["fields"] = [FieldAssign(**f) for f in payload.get("fields", [])]
+        return cls(**payload)
 
 
 @dataclass
@@ -366,7 +454,8 @@ class ModuleSummary:
             path=data["path"],
             functions=dict(data["functions"]),
             classes={
-                name: ClassInfo(**info) for name, info in data["classes"].items()
+                name: ClassInfo.from_dict(info)
+                for name, info in data["classes"].items()
             },
             imports=dict(data["imports"]),
             calls=[CallSite(**site) for site in data["calls"]],
@@ -388,7 +477,7 @@ class ModuleSummary:
 class _Scope:
     """Per-function (or module) inference state."""
 
-    __slots__ = ("set_vars", "dims", "spec_vars", "spec_aliases")
+    __slots__ = ("set_vars", "dims", "spec_vars", "spec_aliases", "params", "container_vars")
 
     def __init__(self) -> None:
         self.set_vars: Set[str] = set()
@@ -397,10 +486,99 @@ class _Scope:
         self.spec_vars: Dict[str, Optional[str]] = {}
         # var -> (description, spec class) for aliases of spec payloads
         self.spec_aliases: Dict[str, Tuple[str, Optional[str]]] = {}
+        # param name -> annotation type names ([] when unannotated)
+        self.params: Dict[str, List[str]] = {}
+        # locals bound to a freshly built container in this scope
+        self.container_vars: Set[str] = set()
 
 
 _SET_ANNOTATIONS = frozenset({"set", "Set", "FrozenSet", "frozenset", "AbstractSet", "MutableSet"})
 _SET_OPS = frozenset({"union", "intersection", "difference", "symmetric_difference"})
+
+#: Constructor terminals that build a fresh mutable container.
+_CONTAINER_CTORS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter", "bytearray"}
+)
+
+#: Annotation terminals naming a mutable container type: a parameter so
+#: annotated that is stored on ``self`` without a copy aliases
+#: caller-owned state (RPR913).
+_MUTABLE_CONTAINER_ANNS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "bytearray",
+        "List",
+        "Dict",
+        "Set",
+        "Deque",
+        "DefaultDict",
+        "MutableMapping",
+        "MutableSequence",
+        "MutableSet",
+    }
+)
+
+#: Typing/builtin wrapper names that never name a simulator class; the
+#: first capitalized annotation name *outside* this set is treated as a
+#: class reference for the ownership graph.
+_TYPING_NAMES = frozenset(
+    {
+        "Optional",
+        "Union",
+        "Any",
+        "Tuple",
+        "FrozenSet",
+        "Sequence",
+        "Iterable",
+        "Iterator",
+        "Mapping",
+        "Callable",
+        "ClassVar",
+        "Type",
+        "Final",
+        "Literal",
+        "Annotated",
+        "None",
+        "TYPE_CHECKING",
+    }
+)
+
+
+def class_candidates(names: Iterable[str]) -> List[str]:
+    """Annotation names that plausibly reference a user-defined class."""
+    return [
+        name
+        for name in names
+        if name
+        and name[0].isupper()
+        and name not in _TYPING_NAMES
+        and name not in _MUTABLE_CONTAINER_ANNS
+    ]
+
+
+#: Dotted call targets that yield OS-level handles: state a snapshot /
+#: fork of the simulation cannot carry across (RPR914).
+_HANDLE_CALLS = frozenset(
+    {
+        "open",
+        "io.open",
+        "socket.socket",
+        "socket.create_connection",
+        "threading.Thread",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Event",
+        "threading.Condition",
+        "subprocess.Popen",
+        "sqlite3.connect",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "mmap.mmap",
+    }
+)
 
 
 def _is_spec_name(name: str) -> bool:
@@ -428,6 +606,7 @@ class ModuleExtractor(ast.NodeVisitor):
         self.summary = ModuleSummary(module=module, path=path)
         self._class_stack: List[str] = []
         self._func_stack: List[str] = []
+        self._method_stack: List[str] = []  # enclosing method bare name, "" outside
         self._loop_stack: List[int] = []
         self._scopes: List[_Scope] = [_Scope()]  # module-level scope
 
@@ -465,15 +644,46 @@ class ModuleExtractor(ast.NodeVisitor):
                             )
         spec_like = node.name.endswith("Spec") or node.name.endswith("Config")
         set_attrs: List[str] = []
+        bases = [dotted_name(base) or terminal_name(base) or "" for base in node.bases]
+        bases = [base for base in bases if base]
+        slots: Optional[List[str]] = None
+        slots_line = 0
+        declared_state: Optional[List[str]] = None
+        declared_line = 0
+        body_fields: List[FieldAssign] = []
         for statement in node.body:
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target = statement.targets[0]
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    slots = _string_tuple(statement.value)
+                    slots_line = statement.lineno
+                elif isinstance(target, ast.Name) and target.id == "STATE_FIELDS":
+                    declared_state = _string_tuple(statement.value)
+                    declared_line = statement.lineno
             if isinstance(statement, ast.AnnAssign) and isinstance(
                 statement.target, ast.Name
             ):
-                if (
-                    statement.target.id == "kind"
-                    and "ClassVar" in ast.dump(statement.annotation)
-                ):
+                is_classvar = "ClassVar" in ast.dump(statement.annotation)
+                if statement.target.id == "kind" and is_classvar:
                     spec_like = True
+                if statement.target.id == "STATE_FIELDS" and statement.value is not None:
+                    declared_state = _string_tuple(statement.value)
+                    declared_line = statement.lineno
+                elif statement.target.id == "__slots__" and statement.value is not None:
+                    slots = _string_tuple(statement.value)
+                    slots_line = statement.lineno
+                elif not is_classvar and not statement.target.id.startswith("__"):
+                    # Dataclass-style instance field declaration.
+                    body_fields.append(
+                        FieldAssign(
+                            name=statement.target.id,
+                            method="<class>",
+                            line=statement.lineno,
+                            col=statement.col_offset + 1,
+                            kind="decl",
+                            ann=annotation_names(statement.annotation),
+                        )
+                    )
                 if self._annotation_is_set(statement.annotation):
                     set_attrs.append(statement.target.id)
         self.summary.classes[node.name] = ClassInfo(
@@ -481,6 +691,13 @@ class ModuleExtractor(ast.NodeVisitor):
             frozen_dataclass=is_dataclass and frozen,
             spec_like=spec_like,
             set_attrs=set_attrs,
+            bases=bases,
+            is_dataclass=is_dataclass,
+            slots=slots,
+            slots_line=slots_line,
+            declared_state=declared_state,
+            declared_line=declared_line,
+            fields=body_fields,
         )
         self._class_stack.append(node.name)
         self.generic_visit(node)
@@ -505,6 +722,12 @@ class ModuleExtractor(ast.NodeVisitor):
             *node.args.args,
             *node.args.kwonlyargs,
         ]:
+            if arg.arg not in ("self", "cls"):
+                scope.params[arg.arg] = (
+                    annotation_names(arg.annotation)
+                    if arg.annotation is not None
+                    else []
+                )
             if arg.annotation is not None:
                 if self._annotation_is_set(arg.annotation):
                     scope.set_vars.add(arg.arg)
@@ -517,6 +740,13 @@ class ModuleExtractor(ast.NodeVisitor):
             dim = dimension_of_name(arg.arg)
             if dim is not None:
                 scope.dims[arg.arg] = dim
+        if self._class_stack and not self._func_stack:
+            method = node.name
+        elif self._method_stack:
+            method = self._method_stack[-1]
+        else:
+            method = ""
+        self._method_stack.append(method)
         self._func_stack.append(qualname)
         self._scopes.append(scope)
         saved_loops, self._loop_stack = self._loop_stack, []
@@ -524,6 +754,7 @@ class ModuleExtractor(ast.NodeVisitor):
         self._loop_stack = saved_loops
         self._scopes.pop()
         self._func_stack.pop()
+        self._method_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._visit_function(node)
@@ -679,8 +910,149 @@ class ModuleExtractor(ast.NodeVisitor):
                     return f"set-typed self.{node.attr}"
         return None
 
+    # -- instance-field extraction (the state model's raw material) ----
+    def _classify_value(
+        self, value: ast.expr
+    ) -> Tuple[str, Optional[str], bool, Optional[str]]:
+        """(kind, target, shared, alias) for an assigned value.
+
+        ``shared`` marks values the caller still owns (a mutable
+        container or callable passed in as a parameter); ``alias`` names
+        the local variable the value aliases, for same-method aliasing
+        detection.  Kinds needing whole-program knowledge to finish
+        (``param``/``selfattr``/``paramattr``/``ref``) are resolved by
+        :mod:`repro.analysis.state`.
+        """
+        if isinstance(value, ast.Constant):
+            return ("scalar", None, False, None)
+        if isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.Tuple, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return ("container", None, False, None)
+        if isinstance(value, ast.GeneratorExp):
+            return ("generator", None, False, None)
+        if isinstance(value, ast.Lambda):
+            return ("callable", "<lambda>", False, None)
+        if isinstance(value, (ast.UnaryOp, ast.BinOp, ast.Compare, ast.BoolOp)):
+            return ("scalar", None, False, None)
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            terminal = terminal_name(value.func)
+            if dotted in _HANDLE_CALLS:
+                return ("handle", None, False, None)
+            if terminal in _CONTAINER_CTORS:
+                return ("container", None, False, None)
+            if terminal == "stream" and isinstance(value.func, ast.Attribute):
+                return ("rng", None, False, None)
+            if dotted in ("random.Random", "random.SystemRandom") or terminal in (
+                "RngRegistry",
+                "Random",
+                "SystemRandom",
+            ):
+                return ("rng", None, False, None)
+            if terminal and terminal[0].isupper() and terminal not in _TYPING_NAMES:
+                return ("ref", terminal, False, None)
+            return ("unknown", None, False, None)
+        if isinstance(value, ast.Name):
+            scope = self._scope
+            if value.id in scope.params:
+                names = scope.params[value.id]
+                if any(name in _MUTABLE_CONTAINER_ANNS for name in names):
+                    return ("container", None, True, None)
+                if "Callable" in names:
+                    return ("callable", None, True, None)
+                candidates = class_candidates(names)
+                if candidates:
+                    return ("ref", candidates[0], False, None)
+                return ("param", None, False, None)
+            if value.id in scope.container_vars:
+                return ("container", None, False, value.id)
+            return ("unknown", None, False, None)
+        if isinstance(value, ast.Attribute):
+            root = value.value
+            if isinstance(root, ast.Name):
+                if root.id == "self":
+                    return ("selfattr", value.attr, False, None)
+                if root.id in self._scope.params:
+                    candidates = class_candidates(self._scope.params[root.id])
+                    if candidates:
+                        return (
+                            "paramattr",
+                            f"{candidates[0]}.{value.attr}",
+                            False,
+                            None,
+                        )
+            return ("unknown", None, False, None)
+        return ("unknown", None, False, None)
+
+    def _record_self_assigns(
+        self,
+        targets: List[ast.expr],
+        value: Optional[ast.expr],
+        aug: bool = False,
+        annotation: Optional[ast.expr] = None,
+    ) -> None:
+        """Record ``self.<attr> = ...`` targets into the enclosing class."""
+        if not self._class_stack or not self._method_stack or not self._method_stack[-1]:
+            return
+        info = self.summary.classes.get(self._class_stack[-1])
+        if info is None:
+            return
+        direct: List[ast.Attribute] = []
+        unpacked: List[ast.Attribute] = []
+
+        def collect(target: ast.expr, into: List[ast.Attribute]) -> None:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                into.append(target)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    collect(element, unpacked)
+
+        for target in targets:
+            collect(target, direct)
+        if not direct and not unpacked:
+            return
+        if aug:
+            kind, ref_target, shared, alias = "aug", None, False, None
+        elif value is None:
+            kind, ref_target, shared, alias = "decl", None, False, None
+        else:
+            kind, ref_target, shared, alias = self._classify_value(value)
+        ann = annotation_names(annotation) if annotation is not None else []
+        method = self._method_stack[-1]
+        for attr in direct:
+            info.fields.append(
+                FieldAssign(
+                    name=attr.attr,
+                    method=method,
+                    line=attr.lineno,
+                    col=attr.col_offset + 1,
+                    kind=kind,
+                    target=ref_target,
+                    shared=shared,
+                    alias=alias,
+                    ann=ann,
+                )
+            )
+        for attr in unpacked:
+            info.fields.append(
+                FieldAssign(
+                    name=attr.attr,
+                    method=method,
+                    line=attr.lineno,
+                    col=attr.col_offset + 1,
+                    kind="unknown",
+                )
+            )
+
     # -- assignments: set-typedness, aliasing, dimensions --------------
     def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_self_assigns(node.targets, node.value)
         self._note_assignment(node.targets, node.value, node)
         self.generic_visit(node)
 
@@ -691,11 +1063,13 @@ class ModuleExtractor(ast.NodeVisitor):
             ann_spec = _spec_class_name(terminal_name(node.annotation))
             if ann_spec is not None:
                 self._scope.spec_vars[node.target.id] = ann_spec
+        self._record_self_assigns([node.target], node.value, annotation=node.annotation)
         if node.value is not None:
             self._note_assignment([node.target], node.value, node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_self_assigns([node.target], node.value, aug=True)
         target = node.target
         found = None
         if isinstance(target, (ast.Attribute, ast.Subscript)):
@@ -747,6 +1121,8 @@ class ModuleExtractor(ast.NodeVisitor):
         if not names:
             self._check_value_dims(value)
             return
+        if self._classify_value(value)[0] == "container":
+            self._scope.container_vars.update(names)
         if self._unordered_desc(value) is not None or (
             isinstance(value, ast.Call) and terminal_name(value.func) in ("set", "frozenset")
         ):

@@ -66,6 +66,7 @@ from repro.analysis.flow import (
     terminal_name as _terminal_name,
 )
 from repro.analysis.rules8xx import RULES_8XX, flow_violations
+from repro.analysis.state import RULES_9XX, state_violations
 
 #: Syntactic (per-module) rule catalog: code -> (summary, fix-it hint).
 SYNTACTIC_RULES: Dict[str, Tuple[str, str]] = {
@@ -121,8 +122,9 @@ SYNTACTIC_RULES: Dict[str, Tuple[str, str]] = {
     ),
 }
 
-#: The full catalog: syntactic rules plus the semantic RPR8xx family.
-RULES: Dict[str, Tuple[str, str]] = {**SYNTACTIC_RULES, **RULES_8XX}
+#: The full catalog: syntactic rules plus the semantic RPR8xx family
+#: and the state-model RPR9xx family.
+RULES: Dict[str, Tuple[str, str]] = {**SYNTACTIC_RULES, **RULES_8XX, **RULES_9XX}
 
 #: Dotted call targets that read the wall clock (shared with the taint
 #: pass in :mod:`repro.analysis.flow`).
@@ -540,13 +542,21 @@ def lint_source(
 
 
 def iter_python_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    A ``.py`` path that no longer exists is skipped, not an error:
+    ``--changed`` feeds paths straight from ``git diff``, which happily
+    reports files that were deleted or renamed away.  Anything else
+    that does not exist is still a hard error (a typoed directory
+    silently linting nothing would be worse).
+    """
     files: Set[Path] = set()
     for path in paths:
         if path.is_dir():
             files.update(path.rglob("*.py"))
         elif path.suffix == ".py":
-            files.add(path)
+            if path.is_file():
+                files.add(path)
         else:
             raise FileNotFoundError(f"not a python file or directory: {path}")
     return sorted(files)
@@ -626,6 +636,8 @@ def run_lint(
     for summary in summaries:
         per_file.setdefault(summary.path, []).extend(summary.local)
     for violation in flow_violations(project):
+        per_file.setdefault(violation.path, []).append(violation)
+    for violation in state_violations(project):
         per_file.setdefault(violation.path, []).append(violation)
     merged: List[Violation] = []
     for path_key, violations in per_file.items():

@@ -57,6 +57,8 @@ class VideoManifest:
     4
     """
 
+    __slots__ = ("duration", "chunk_duration", "representations")
+
     def __init__(
         self,
         duration: float = PAPER_VIDEO_DURATION,

@@ -47,6 +47,8 @@ class MpDashScheduler(Scheduler):
 
     name = "mpdash"
 
+    __slots__ = ("cellular_active", "activations", "deactivations")
+
     def __init__(self) -> None:
         super().__init__()
         self.cellular_active = True  # safe default before any requirement
@@ -79,6 +81,8 @@ class MpDashPathManager:
     re-evaluates whether the preferred path alone sustains the chunk's
     bitrate (chunk bytes over chunk duration) with a safety margin.
     """
+
+    __slots__ = ("scheduler", "conn", "margin", "requirements_seen")
 
     def __init__(
         self,

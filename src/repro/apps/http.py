@@ -78,6 +78,16 @@ class HttpSession:
     request_size: request packet size on the wire, bytes.
     """
 
+    __slots__ = (
+        "sim",
+        "conn",
+        "request_size",
+        "results",
+        "observers",
+        "_pending",
+        "_next_index",
+    )
+
     def __init__(self, sim: Simulator, conn: MptcpConnection, request_size: int = REQUEST_SIZE) -> None:
         self.sim = sim
         self.conn = conn

@@ -328,7 +328,11 @@ def cmd_lint(args) -> int:
 
     only_paths = None
     if args.changed:
-        only_paths = {p for p in _changed_files() if p.endswith(".py")}
+        # git diff reports deleted/renamed-away paths too; a vanished
+        # file cannot carry findings, so drop it rather than raise.
+        only_paths = {
+            p for p in _changed_files() if p.endswith(".py") and Path(p).is_file()
+        }
         if not only_paths:
             print("lint: no changed python files", file=sys.stderr)
             return 0
@@ -349,7 +353,20 @@ def cmd_lint(args) -> int:
 
     if args.update_baseline:
         target = baseline_path or DEFAULT_BASELINE_NAME
-        save_baseline(make_baseline(run.all_violations), target)
+        # Re-snapshotting must not erase curated reasons: carry over the
+        # reason of every fingerprint that survives into the new baseline.
+        reasons = {}
+        if Path(target).is_file():
+            try:
+                previous = load_baseline(target)
+            except (ValueError, OSError):
+                previous = {}
+            reasons = {
+                key: entry["reason"]
+                for key, entry in previous.get("findings", {}).items()
+                if entry.get("reason")
+            }
+        save_baseline(make_baseline(run.all_violations, reasons), target)
         print(
             f"lint: wrote {len(run.all_violations)} finding(s) to {target}",
             file=sys.stderr,
@@ -361,7 +378,9 @@ def cmd_lint(args) -> int:
 
         from repro.analysis.sarif import to_sarif
 
-        document = _json.dumps(to_sarif(run.violations, RULES), indent=2)
+        document = _json.dumps(
+            to_sarif(run.violations, RULES), indent=2, sort_keys=True
+        )
         if args.sarif == "-":
             print(document)
         else:
@@ -380,6 +399,34 @@ def cmd_lint(args) -> int:
     if run.violations:
         print(f"{len(run.violations)} violation(s)", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_state(args) -> int:
+    from repro.analysis.lint import default_lint_root, run_lint
+    from repro.analysis.state import build_state_model, render_state_model
+
+    paths = args.paths or [default_lint_root()]
+    cache_path = None if args.no_cache else Path(args.cache)
+    run = run_lint(paths, cache_path=cache_path)
+    document = render_state_model(build_state_model(run.project))
+    if args.check is not None:
+        committed = Path(args.check)
+        current = committed.read_text() if committed.is_file() else None
+        if current != document:
+            print(
+                f"state: {args.check} is stale; regenerate with "
+                f"'python -m repro.cli state -o {args.check}'",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"state: {args.check} is up to date", file=sys.stderr)
+        return 0
+    if args.output is None or args.output == "-":
+        print(document, end="")
+    else:
+        Path(args.output).write_text(document)
+        print(f"state: wrote {args.output}", file=sys.stderr)
     return 0
 
 
@@ -976,6 +1023,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="parse every file fresh; do not read or write the cache",
     )
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "state",
+        help="static state model: ownership graph + snapshot contract "
+        "(see repro.analysis.state)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the state-model JSON to FILE (default: stdout)",
+    )
+    p.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="compare against a committed state model; exit 1 on drift",
+    )
+    p.add_argument(
+        "--cache", metavar="FILE", default=".repro-lint-cache.json",
+        help="incremental per-file summary cache (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="parse every file fresh; do not read or write the cache",
+    )
+    p.set_defaults(func=cmd_state)
 
     p = sub.add_parser(
         "trace",

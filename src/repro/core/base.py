@@ -34,6 +34,8 @@ class Scheduler:
 
     name = "base"
 
+    __slots__ = ("conn", "uid", "decisions", "waits")
+
     def __init__(self) -> None:
         self.conn: Optional["MptcpConnection"] = None
         self.uid = _events.next_uid()

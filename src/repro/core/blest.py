@@ -45,6 +45,8 @@ class BlestScheduler(Scheduler):
 
     name = "blest"
 
+    __slots__ = ("lambda_", "wait_decisions", "_last_limited_seen")
+
     def __init__(self) -> None:
         super().__init__()
         self.lambda_ = 1.0

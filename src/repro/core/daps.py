@@ -35,6 +35,8 @@ class DapsScheduler(Scheduler):
 
     name = "daps"
 
+    __slots__ = ("_schedule", "schedules_built")
+
     def __init__(self) -> None:
         super().__init__()
         self._schedule: Deque[int] = deque()

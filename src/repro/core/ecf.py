@@ -76,6 +76,24 @@ class EcfScheduler(Scheduler):
 
     name = "ecf"
 
+    __slots__ = (
+        "beta",
+        "use_second_inequality",
+        "waiting",
+        "wait_decisions",
+        "send_on_slow_decisions",
+    )
+
+    #: The snapshot contract: the fields this class gives birth to (the
+    #: checkpoint/fork refactor codes against this; RPR915 keeps it honest).
+    STATE_FIELDS = (
+        "beta",
+        "use_second_inequality",
+        "waiting",
+        "wait_decisions",
+        "send_on_slow_decisions",
+    )
+
     def __init__(self, beta: float = DEFAULT_BETA, use_second_inequality: bool = True) -> None:
         super().__init__()
         # NaN compares false against everything, so a plain `beta < 0`

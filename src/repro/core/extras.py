@@ -24,6 +24,8 @@ class RoundRobinScheduler(Scheduler):
 
     name = "roundrobin"
 
+    __slots__ = ("_next",)
+
     def __init__(self) -> None:
         super().__init__()
         self._next = 0
@@ -52,6 +54,8 @@ class RedundantScheduler(Scheduler):
 
     name = "redundant"
 
+    __slots__ = ()
+
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         """New data rides only the lowest-RTT subflow.
 
@@ -79,6 +83,8 @@ class PrimaryOnlyScheduler(Scheduler):
     """Single-path TCP: only the primary subflow ever carries data."""
 
     name = "primary"
+
+    __slots__ = ()
 
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         self.decisions += 1

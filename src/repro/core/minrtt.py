@@ -23,6 +23,8 @@ class MinRttScheduler(Scheduler):
 
     name = "minrtt"
 
+    __slots__ = ()
+
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         self.decisions += 1
         available = self.available_subflows(conn)

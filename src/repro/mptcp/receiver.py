@@ -34,6 +34,23 @@ class MptcpReceiver:
         (disable in huge sweeps to save memory).
     """
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "sim",
+        "uid",
+        "recv_buffer_bytes",
+        "on_deliver",
+        "record_delays",
+        "expected_dsn",
+        "delivered_bytes",
+        "duplicate_packets",
+        "ooo_delays",
+        "max_buffered_bytes",
+        "last_arrival_by_subflow",
+        "_buffered",
+        "_buffered_bytes",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -29,6 +29,8 @@ class Path:
         Link carrying ACKs/requests from client to server.
     """
 
+    __slots__ = ("name", "forward", "reverse")
+
     def __init__(self, name: str, forward: Link, reverse: Link) -> None:
         self.name = name
         self.forward = forward

@@ -62,6 +62,8 @@ class CompositeForward:
     each delivered packet into the next hop.
     """
 
+    __slots__ = ("hops",)
+
     def __init__(self, hops: Sequence[Link]) -> None:
         if not hops:
             raise ValueError("a composite path needs at least one hop")

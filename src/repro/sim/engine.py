@@ -77,6 +77,9 @@ class Timer:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("time", "seq", "callback", "args", "cancelled", "_sim")
+
     def __init__(
         self,
         time: float,
@@ -142,6 +145,23 @@ class Simulator:
     >>> (sim.now, fired)
     (1.5, ['hello'])
     """
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915): every
+    #: attribute a clean state capture must copy, and nothing else.
+    STATE_FIELDS = (
+        "tie_break",
+        "tie_break_seed",
+        "_tie_rng",
+        "now",
+        "_heap",
+        "_seq",
+        "_events_processed",
+        "_running",
+        "_cancelled_in_heap",
+        "_timers_cancelled",
+        "_stale_pops",
+        "_compactions",
+    )
 
     def __init__(
         self,

@@ -31,6 +31,8 @@ class TraceRecorder:
         O(series x cap) on arbitrarily long runs.
     """
 
+    __slots__ = ("enabled", "max_samples_per_series", "_series")
+
     def __init__(
         self, enabled: bool = True, max_samples_per_series: Optional[int] = None
     ) -> None:

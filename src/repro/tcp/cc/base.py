@@ -27,6 +27,8 @@ class CongestionController:
 
     name = "base"
 
+    __slots__ = ("_subflows",)
+
     def __init__(self) -> None:
         self._subflows: List["Subflow"] = []
 

@@ -32,6 +32,8 @@ class CoupledController(CongestionController):
 
     name = "coupled"
 
+    __slots__ = ()
+
     def alpha(self) -> float:
         """The LIA aggressiveness factor over all registered subflows."""
         total_cwnd = sum(sf.cwnd for sf in self.subflows)

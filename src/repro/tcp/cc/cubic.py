@@ -47,6 +47,8 @@ class CubicController(CongestionController):
 
     name = "cubic"
 
+    __slots__ = ("_state",)
+
     def __init__(self) -> None:
         super().__init__()
         self._state: Dict[int, _CubicState] = {}

@@ -37,6 +37,8 @@ class OliaController(CongestionController):
 
     name = "olia"
 
+    __slots__ = ()
+
     def _quality(self, sf: "Subflow") -> float:
         rtt = sf.rtt.smoothed_or(DEFAULT_RTT)
         inter_loss = max(float(sf.stats.bytes_since_loss), float(sf.mss))

@@ -20,5 +20,7 @@ class RenoController(CongestionController):
 
     name = "reno"
 
+    __slots__ = ()
+
     def ca_increase(self, subflow: "Subflow") -> float:
         return 1.0 / max(subflow.cwnd, 1.0)

@@ -41,6 +41,27 @@ class RttEstimator:
     True
     """
 
+    __slots__ = (
+        "min_rto_var",
+        "max_rto",
+        "srtt",
+        "rttvar",
+        "samples",
+        "_sum",
+        "_window",
+    )
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "min_rto_var",
+        "max_rto",
+        "srtt",
+        "rttvar",
+        "samples",
+        "_sum",
+        "_window",
+    )
+
     def __init__(
         self,
         initial_rtt: Optional[float] = None,

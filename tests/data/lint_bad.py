@@ -83,3 +83,28 @@ def schedule_probes(sim, probes):
 
 def naive_transfer_time(size_bytes, delay_s):
     return size_bytes + delay_s  # RPR841: bytes + seconds
+
+
+class Simulator:  # ownership-graph root for the RPR91x seeds below
+    def __init__(self):
+        self.engine = Engine()
+
+    def warm_up(self):
+        self.booted = True  # RPR911: attribute born outside __init__
+
+
+class Engine:
+    __slots__ = ("ticks",)
+
+    def __init__(self):
+        self.ticks = 0
+        self.on_tick = lambda: None  # RPR912: not in __slots__;
+        # RPR914: lambda reachable from Simulator
+
+
+class Ledger:
+    STATE_FIELDS = ("entries",)  # RPR915: observed 'backup' undeclared
+
+    def __init__(self, shared: list):
+        self.entries = shared  # RPR913: caller-owned list stored uncopied
+        self.backup = shared

@@ -1,0 +1,20 @@
+"""RPR913 fixtures: caller-owned mutable containers aliased into state."""
+
+from typing import Dict, List
+
+
+class Router:
+    """Stores the caller's list and dict instead of copying them."""
+
+    def __init__(self, routes: List[str], weights: Dict[str, float]):
+        self.routes = routes  # RPR913: caller still holds this list
+        self.weights = weights  # RPR913: same problem with the dict
+
+
+class Splitter:
+    """Two fields share one freshly built container: one object, two names."""
+
+    def __init__(self):
+        buckets = []
+        self.left = buckets
+        self.right = buckets  # RPR913: left and right alias 'buckets'

@@ -1,0 +1,32 @@
+"""The control: state discipline every RPR9xx rule must stay quiet on."""
+
+from typing import List, Optional
+
+
+class Simulator:
+    """Slotted root with an honest snapshot contract."""
+
+    __slots__ = ("now", "ledger")
+
+    STATE_FIELDS = ("now", "ledger")
+
+    def __init__(self):
+        self.now = 0.0
+        self.ledger = Ledger([1.0])
+
+
+class Ledger:
+    """Copies caller data, declares every field, births them in init."""
+
+    __slots__ = ("entries", "total", "closed")
+
+    STATE_FIELDS = ("entries", "total", "closed")
+
+    def __init__(self, entries: Optional[List[float]] = None):
+        self.entries = list(entries or [])  # copy: the caller keeps theirs
+        self.total = sum(self.entries)
+        self.closed = False
+
+    def add(self, value: float) -> None:
+        self.entries.append(value)
+        self.total += value  # aug on declared state: not a hidden birth

@@ -1,0 +1,13 @@
+"""RPR915 fixture: a ``STATE_FIELDS`` contract that lies both ways."""
+
+
+class Checkpointable:
+    """Declares a snapshot contract the implementation has outgrown."""
+
+    # RPR915: 'retries' was removed but stays declared; 'deadline' was
+    # added but never declared.
+    STATE_FIELDS = ("attempts", "retries")
+
+    def __init__(self):
+        self.attempts = 0
+        self.deadline = None

@@ -1,0 +1,26 @@
+"""RPR914 fixtures: fork-unsafe state on the simulator's object graph."""
+
+
+class Simulator:
+    """Component root; owns the recorder whose state cannot be forked."""
+
+    __slots__ = ("now", "recorder")
+
+    def __init__(self):
+        self.now = 0.0
+        self.recorder = Recorder(self)
+
+    def schedule(self, delay, callback):
+        return (delay, callback)
+
+
+class Recorder:
+    """Reachable from Simulator and full of unsnapshotable state."""
+
+    __slots__ = ("log", "stream", "dispatch", "on_done")
+
+    def __init__(self, sim: "Simulator"):
+        self.log = open("recorder.log", "w")  # RPR914: OS handle
+        self.stream = (x * x for x in range(4))  # RPR914: live generator
+        self.dispatch = sim.schedule  # RPR914: bound method of another object
+        self.on_done = lambda: None  # RPR914: lambda in reachable state

@@ -1,0 +1,17 @@
+"""RPR911 fixture: instance attributes born outside ``__init__``."""
+
+
+class LazyCounter:
+    """Initialises some state up front, sneaks the rest in later."""
+
+    def __init__(self):
+        self.count = 0
+
+    def bump(self):
+        if self.count == 0:
+            self.started = True  # RPR911: born in bump(), not __init__
+        self.count += 1
+
+    def reset(self):
+        self.count = 0  # reset() is an init method: not hidden state
+        self.high_water = 0  # ... even for a field born here

@@ -1,0 +1,30 @@
+"""RPR912 fixtures: ``__slots__`` drifting from the observed fields."""
+
+
+class Gauge:
+    """Slotted, but the slot tuple and the assignments disagree."""
+
+    __slots__ = ("value", "retired")  # RPR912: 'retired' is never assigned
+
+    def __init__(self):
+        self.value = 0.0
+        self.label = ""  # RPR912: assigned but missing from __slots__
+
+
+class Simulator:
+    """Component root so the missing-slots check has reach here."""
+
+    __slots__ = ("gauge", "probe")
+
+    def __init__(self):
+        self.gauge = Gauge()
+        self.probe = Probe()
+
+
+class Probe:
+    """Hot-path sized, simulator-reachable, unslotted."""
+    # RPR912: small class on the Simulator graph without __slots__
+
+    def __init__(self):
+        self.reading = 0.0
+        self.samples = 0

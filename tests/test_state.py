@@ -1,0 +1,352 @@
+"""Tests for the state-model auditor (repro.analysis.state + RPR9xx).
+
+Covers the seeded fixture package (``tests/data/state``), the ownership
+graph and simulator component, the committed ``state-model.json``
+snapshot (byte-identical regeneration), noqa suppression per rule,
+deterministic baseline/SARIF emission, the ``--changed`` deleted-path
+regression, and the ``__slots__`` satellite on the hot-path classes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import fingerprint, normalize_path
+from repro.analysis.flow import Violation
+from repro.analysis.lint import RULES, default_lint_root, run_lint
+from repro.analysis.state import (
+    RULES_9XX,
+    STATE_SCOPE,
+    StateModel,
+    build_state_model,
+    in_state_scope,
+    render_state_model,
+    state_violations,
+)
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).parent.parent
+STATE_DIR = Path(__file__).parent / "data" / "state"
+MODEL_PATH = REPO_ROOT / "state-model.json"
+
+NO_REGISTRIES: dict = {}
+
+
+def state_run(paths=None, **kwargs):
+    kwargs.setdefault("registries", NO_REGISTRIES)
+    return run_lint(paths or [STATE_DIR], **kwargs)
+
+
+def findings_in(run, filename):
+    return [v for v in run.violations if v.path.endswith(filename)]
+
+
+@pytest.fixture(scope="module")
+def fixture_run():
+    """One analysis of the fixture package, shared across assertions."""
+    return state_run()
+
+
+@pytest.fixture(scope="module")
+def tree_run():
+    """One analysis of the real package, shared across model assertions."""
+    return run_lint([default_lint_root()])
+
+
+class TestFixturePackage:
+    """Every RPR9xx rule fires on its seeded module, nowhere else."""
+
+    def test_rpr911_fires_on_hidden(self, fixture_run):
+        violations = findings_in(fixture_run, "hidden.py")
+        assert [v.code for v in violations] == ["RPR911"]
+        assert "LazyCounter.started" in violations[0].message
+        assert "bump()" in violations[0].message
+
+    def test_rpr911_spares_reset_births(self, fixture_run):
+        messages = " ".join(v.message for v in findings_in(fixture_run, "hidden.py"))
+        assert "high_water" not in messages
+
+    def test_rpr912_fires_on_slotdrift(self, fixture_run):
+        violations = findings_in(fixture_run, "slotdrift.py")
+        assert {v.code for v in violations} == {"RPR912"}
+        messages = " ".join(v.message for v in violations)
+        assert "dead slot" in messages and "retired" in messages
+        assert "Gauge.label" in messages
+        assert "Probe" in messages and "no __slots__" in messages
+
+    def test_rpr913_fires_on_aliasing(self, fixture_run):
+        violations = findings_in(fixture_run, "aliasing.py")
+        assert {v.code for v in violations} == {"RPR913"}
+        messages = " ".join(v.message for v in violations)
+        assert "Router.routes" in messages and "Router.weights" in messages
+        assert "left and right" in messages and "'buckets'" in messages
+
+    def test_rpr914_fires_on_forkunsafe(self, fixture_run):
+        violations = findings_in(fixture_run, "forkunsafe.py")
+        assert {v.code for v in violations} == {"RPR914"}
+        messages = " ".join(v.message for v in violations)
+        assert "OS handle" in messages
+        assert "live generator" in messages
+        assert "bound method of Simulator" in messages
+        assert "lambda" in messages
+
+    def test_rpr915_fires_on_driftdecl(self, fixture_run):
+        [violation] = findings_in(fixture_run, "driftdecl.py")
+        assert violation.code == "RPR915"
+        assert "deadline" in violation.message  # observed but undeclared
+        assert "retries" in violation.message  # declared but never assigned
+
+    def test_clean_module_is_quiet(self, fixture_run):
+        assert findings_in(fixture_run, "clean.py") == []
+
+    def test_noqa_suppresses_every_rule(self, fixture_run):
+        assert findings_in(fixture_run, "suppressed.py") == []
+
+    def test_noqa_seeds_resurface_unsuppressed(self, fixture_run):
+        # The suppressed module must genuinely seed all five rules: the
+        # raw (pre-noqa) findings carry one of each family member.
+        raw = [
+            v
+            for v in state_violations(fixture_run.project)
+            if v.path.endswith("suppressed.py")
+        ]
+        assert {v.code for v in raw} == set(RULES_9XX)
+
+    def test_every_9xx_rule_represented(self, fixture_run):
+        fired = {v.code for v in fixture_run.violations if v.code.startswith("RPR9")}
+        assert set(RULES_9XX) <= fired
+
+
+class TestOwnershipGraph:
+    def test_simulator_is_the_root(self, tree_run):
+        model = StateModel(tree_run.project)
+        assert model.roots == ["repro.sim.engine.Simulator"]
+
+    def test_component_reaches_the_stack(self, tree_run):
+        model = StateModel(tree_run.project)
+        reachable = {
+            qual for qual, cls in model.classes.items() if cls.in_component
+        }
+        for expected in (
+            "repro.sim.engine.Timer",
+            "repro.tcp.subflow.Subflow",
+            "repro.mptcp.connection.MptcpConnection",
+            "repro.mptcp.receiver.MptcpReceiver",
+            "repro.core.ecf.EcfScheduler",
+        ):
+            assert expected in reachable
+
+    def test_field_kinds_on_the_engine(self, tree_run):
+        model = StateModel(tree_run.project)
+        timer = model.classes["repro.sim.engine.Timer"]
+        assert "callback" in timer.fields
+        sim = model.classes["repro.sim.engine.Simulator"]
+        assert "_heap" in sim.fields and "now" in sim.fields
+
+    def test_scope_filter(self):
+        assert in_state_scope("repro.sim.engine", STATE_SCOPE)
+        assert in_state_scope("tests.data.state.hidden", STATE_SCOPE)
+        assert not in_state_scope("repro.obs.journal", STATE_SCOPE)
+
+
+class TestStateModelSnapshot:
+    def test_committed_model_regenerates_byte_identical(self, tree_run):
+        document = render_state_model(build_state_model(tree_run.project))
+        assert document == MODEL_PATH.read_text()
+
+    def test_render_is_deterministic(self, tree_run):
+        first = render_state_model(build_state_model(tree_run.project))
+        second = render_state_model(build_state_model(tree_run.project))
+        assert first == second
+
+    def test_model_has_no_line_numbers(self):
+        data = json.loads(MODEL_PATH.read_text())
+        assert data["version"] == 1
+        text = MODEL_PATH.read_text()
+        assert '"line"' not in text  # churn-free: no positions in the snapshot
+
+    def test_model_covers_only_scoped_repro_classes(self):
+        data = json.loads(MODEL_PATH.read_text())
+        for qual in data["classes"]:
+            assert qual.startswith("repro.")
+            module = qual.rsplit(".", 1)[0]
+            assert in_state_scope(module, tuple(data["scope"]))
+
+    def test_declared_contracts_recorded(self):
+        data = json.loads(MODEL_PATH.read_text())
+        sim = data["classes"]["repro.sim.engine.Simulator"]
+        assert sim["declared_state"] is not None
+        assert "now" in sim["declared_state"]
+        est = data["classes"]["repro.tcp.rtt.RttEstimator"]
+        assert est["slots"] is not None and "srtt" in est["slots"]
+
+
+class TestStateCli:
+    def test_check_passes_on_committed_model(self):
+        assert cli_main(["state", "--no-cache", "--check", str(MODEL_PATH)]) == 0
+
+    def test_check_fails_on_stale_model(self, tmp_path, capsys):
+        stale = tmp_path / "state-model.json"
+        stale.write_text("{}\n")
+        code = cli_main(
+            ["state", "--no-cache", "--check", str(stale), str(STATE_DIR)]
+        )
+        assert code == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_output_writes_the_document(self, tmp_path):
+        out = tmp_path / "model.json"
+        assert cli_main(["state", "--no-cache", "-o", str(out), str(STATE_DIR)]) == 0
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert out.read_text().endswith("\n")
+
+
+class TestChangedPathTolerance:
+    def test_deleted_paths_are_dropped(self, monkeypatch, tmp_path):
+        # git diff reports deleted/renamed-away files; lint --changed must
+        # skip them instead of raising FileNotFoundError.
+        live = tmp_path / "live.py"
+        live.write_text("import time\nt = time.time()\n")
+        monkeypatch.setattr(
+            "repro.cli._changed_files",
+            lambda: {str(live), str(tmp_path / "deleted.py"), "renamed-away.py"},
+        )
+        assert cli_main(["lint", "--no-cache", "--changed", str(tmp_path)]) == 1
+
+    def test_all_deleted_is_a_clean_noop(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "repro.cli._changed_files", lambda: {"gone.py", "also-gone.py"}
+        )
+        assert cli_main(["lint", "--no-cache", "--changed"]) == 0
+        assert "no changed python files" in capsys.readouterr().err
+
+
+class TestBaselineStability:
+    def test_fingerprint_survives_moving_the_line(self):
+        a = Violation("src/repro/sim/engine.py", 10, 1, "RPR914", "msg", "fix")
+        b = Violation("src/repro/sim/engine.py", 400, 9, "RPR914", "msg", "fix")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_fingerprint_is_invocation_form_independent(self):
+        rel = Violation("src/repro/sim/engine.py", 1, 1, "RPR914", "msg", "fix")
+        absolute = Violation(
+            str(REPO_ROOT / "src" / "repro" / "sim" / "engine.py"),
+            1,
+            1,
+            "RPR914",
+            "msg",
+            "fix",
+        )
+        assert fingerprint(rel) == fingerprint(absolute)
+
+    def test_normalize_path_posix_form(self):
+        assert normalize_path(REPO_ROOT / "lint-baseline.json") == (
+            "lint-baseline.json"
+        )
+
+    def test_committed_baseline_matches_the_tree(self, capsys):
+        # The two triaged RPR914 acceptances suppress cleanly; nothing new.
+        code = cli_main(
+            [
+                "lint",
+                "--no-cache",
+                "--baseline",
+                str(REPO_ROOT / "lint-baseline.json"),
+                str(REPO_ROOT / "src" / "repro"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+        assert "2 baselined" in captured.err
+
+
+class TestDeterministicEmission:
+    def test_update_baseline_is_stable_and_keeps_reasons(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        argv = [
+            "lint",
+            "--no-cache",
+            "--update-baseline",
+            "--baseline",
+            str(target),
+            str(STATE_DIR),
+        ]
+        assert cli_main(argv) == 0
+        first = target.read_text()
+        # Curate one reason, then re-snapshot: bytes identical except the
+        # curated reason, which must survive.
+        document = json.loads(first)
+        key = sorted(document["findings"])[0]
+        document["findings"][key]["reason"] = "curated explanation"
+        target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        assert cli_main(argv) == 0
+        second = json.loads(target.read_text())
+        assert second["findings"][key]["reason"] == "curated explanation"
+        assert cli_main(argv) == 0
+        assert target.read_text() == json.dumps(second, indent=2, sort_keys=True) + "\n"
+        capsys.readouterr()
+
+    def test_sarif_double_write_identical(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        argv = ["lint", "--no-cache", "--sarif", str(out), str(STATE_DIR)]
+        cli_main(argv)
+        first = out.read_bytes()
+        cli_main(argv)
+        capsys.readouterr()
+        assert out.read_bytes() == first
+        data = json.loads(first)
+        assert data["version"] == "2.1.0"
+
+    def test_state_model_double_write_identical(self, tmp_path, capsys):
+        out = tmp_path / "model.json"
+        argv = ["state", "--no-cache", "-o", str(out), str(STATE_DIR)]
+        assert cli_main(argv) == 0
+        first = out.read_bytes()
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert out.read_bytes() == first
+
+
+class TestSlotsSatellite:
+    HOT_CLASSES = (
+        ("repro.sim.engine", "Timer"),
+        ("repro.core.base", "Scheduler"),
+        ("repro.core.ecf", "EcfScheduler"),
+        ("repro.core.minrtt", "MinRttScheduler"),
+        ("repro.tcp.rtt", "RttEstimator"),
+        ("repro.tcp.cc.base", "CongestionController"),
+        ("repro.net.path", "Path"),
+        ("repro.sim.trace", "TraceRecorder"),
+        ("repro.apps.http", "HttpSession"),
+    )
+
+    def test_hot_classes_have_no_instance_dict(self):
+        import importlib
+
+        for module_name, class_name in self.HOT_CLASSES:
+            cls = getattr(importlib.import_module(module_name), class_name)
+            assert "__slots__" in cls.__dict__, f"{class_name} lost its __slots__"
+            # Slot-restriction only holds if every class on the MRO is
+            # slotted; one dictful base re-grows the per-instance dict.
+            dictful = [
+                base.__name__
+                for base in cls.__mro__
+                if base is not object and "__dict__" in vars(base)
+            ]
+            assert not dictful, f"{class_name} regrew __dict__ via {dictful}"
+
+    def test_scheduler_still_constructs_and_counts(self):
+        from repro.core.ecf import EcfScheduler
+
+        scheduler = EcfScheduler()
+        assert scheduler.decisions == 0 and scheduler.waits == 0
+        with pytest.raises(AttributeError):
+            scheduler.surprise_attribute = 1  # slots reject strays
+
+    def test_rules_registered_in_front_end(self):
+        for code in RULES_9XX:
+            assert code in RULES
