@@ -189,6 +189,9 @@ class EcfDecision(Event):
     waiting_after: bool
     n_rounds: float
     threshold: float
+    #: True when a twin-run fork overrode Algorithm 1's outcome for this
+    #: decision (the logged ``decision`` is the forced one).
+    forced: bool = False
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Bump when the summary shape or the extraction logic changes: stale
 #: cache entries from an older analyzer must not survive an upgrade.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Dotted call targets that read the wall clock (shared with the
 #: syntactic RPR101; kept here so both layers agree on the source set).
@@ -383,6 +383,8 @@ class ClassInfo:
     slots_line: int = 0
     declared_state: Optional[List[str]] = None  # STATE_FIELDS contract
     declared_line: int = 0
+    rebind: Optional[List[str]] = None  # SNAPSHOT_REBIND declaration
+    rebind_line: int = 0
     fields: List[FieldAssign] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -399,6 +401,8 @@ class ClassInfo:
                 list(self.declared_state) if self.declared_state is not None else None
             ),
             "declared_line": self.declared_line,
+            "rebind": list(self.rebind) if self.rebind is not None else None,
+            "rebind_line": self.rebind_line,
             "fields": [assign.to_dict() for assign in self.fields],
         }
 
@@ -650,6 +654,8 @@ class ModuleExtractor(ast.NodeVisitor):
         slots_line = 0
         declared_state: Optional[List[str]] = None
         declared_line = 0
+        rebind: Optional[List[str]] = None
+        rebind_line = 0
         body_fields: List[FieldAssign] = []
         for statement in node.body:
             if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
@@ -660,6 +666,9 @@ class ModuleExtractor(ast.NodeVisitor):
                 elif isinstance(target, ast.Name) and target.id == "STATE_FIELDS":
                     declared_state = _string_tuple(statement.value)
                     declared_line = statement.lineno
+                elif isinstance(target, ast.Name) and target.id == "SNAPSHOT_REBIND":
+                    rebind = _string_tuple(statement.value)
+                    rebind_line = statement.lineno
             if isinstance(statement, ast.AnnAssign) and isinstance(
                 statement.target, ast.Name
             ):
@@ -669,6 +678,12 @@ class ModuleExtractor(ast.NodeVisitor):
                 if statement.target.id == "STATE_FIELDS" and statement.value is not None:
                     declared_state = _string_tuple(statement.value)
                     declared_line = statement.lineno
+                elif (
+                    statement.target.id == "SNAPSHOT_REBIND"
+                    and statement.value is not None
+                ):
+                    rebind = _string_tuple(statement.value)
+                    rebind_line = statement.lineno
                 elif statement.target.id == "__slots__" and statement.value is not None:
                     slots = _string_tuple(statement.value)
                     slots_line = statement.lineno
@@ -697,6 +712,8 @@ class ModuleExtractor(ast.NodeVisitor):
             slots_line=slots_line,
             declared_state=declared_state,
             declared_line=declared_line,
+            rebind=rebind,
+            rebind_line=rebind_line,
             fields=body_fields,
         )
         self._class_stack.append(node.name)

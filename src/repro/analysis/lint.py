@@ -167,8 +167,10 @@ _LIVE_OBJECT_TYPES = frozenset(
 )
 
 #: Files allowed to construct ``random.Random`` directly: the registry
-#: itself, which exists to own that construction.
-_RNG_CONSTRUCTION_ALLOWLIST = ("repro/sim/rng.py",)
+#: itself, which exists to own that construction, and the snapshot
+#: restorer, which rebuilds captured streams from ``getstate`` tuples
+#: (seeding through the registry would immediately be overwritten).
+_RNG_CONSTRUCTION_ALLOWLIST = ("repro/sim/rng.py", "repro/sim/snapshot.py")
 
 #: The one file allowed to import ``heapq`` or touch a simulator's
 #: ``_heap``: the engine owns the event queue, including the tie-break

@@ -173,6 +173,25 @@ class Checks:
                 "buffered DSNs beyond the delivery point",
                 f"min buffered={min(buffered)}, expected={receiver.expected_dsn}",
             )
+        if receiver.buffered_bytes > receiver.recv_buffer_bytes:
+            _fail(
+                receiver,
+                "reorder buffer within the advertised capacity",
+                f"buffered={receiver.buffered_bytes}"
+                f" > capacity={receiver.recv_buffer_bytes}",
+            )
+        if buffered:
+            # Buffered chunks must be pairwise disjoint: the sender assigns
+            # DSN ranges contiguously, so overlap means double-assignment.
+            edge = receiver.expected_dsn
+            for dsn in sorted(buffered):
+                if dsn < edge:
+                    _fail(
+                        receiver,
+                        "buffered DSN ranges are disjoint",
+                        f"chunk at {dsn} overlaps previous range ending {edge}",
+                    )
+                edge = dsn + buffered[dsn][0]
         if receiver.delivered_bytes != receiver.expected_dsn:
             _fail(
                 receiver,

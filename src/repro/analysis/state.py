@@ -142,7 +142,9 @@ RULES_9XX: Dict[str, Tuple[str, str]] = {
         "fork-unsafe state reachable from Simulator",
         "keep OS handles, live generators, and bound methods of other "
         "objects out of snapshot-reachable state; store plain data and "
-        "rebind behaviour after a fork",
+        "rebind behaviour after a fork, or declare the field in the "
+        "class's SNAPSHOT_REBIND tuple when repro.sim.snapshot rebinds "
+        "it through the owner registry",
     ),
     "RPR915": (
         "declared STATE_FIELDS drift from observed fields",
@@ -423,6 +425,7 @@ def build_state_model(
                 if cls.info.declared_state is not None
                 else None
             ),
+            "rebind": sorted(cls.info.rebind) if cls.info.rebind is not None else None,
             "in_simulator_component": cls.in_component,
             "fields": fields,
             "refs": sorted(ref for ref in cls.refs if ref in model.classes),
@@ -438,6 +441,36 @@ def build_state_model(
 def render_state_model(document: Dict[str, Any]) -> str:
     """Canonical byte form: sorted keys, two-space indent, one newline."""
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def state_fields_index(document: Dict[str, Any]) -> Dict[str, Set[str]]:
+    """Per-class observed-field closure from a ``state-model.json`` doc.
+
+    Maps each qualified class name to the union of its own observed
+    field names and those of every (transitively resolvable) base in
+    the document.  This is the static side of the runtime snapshot
+    contract: :mod:`repro.sim.snapshot` refuses to capture any field
+    that does not appear here for the object's class.
+    """
+    classes = document.get("classes", {})
+    cache: Dict[str, Set[str]] = {}
+
+    def closure(qual: str, trail: Set[str]) -> Set[str]:
+        if qual in cache:
+            return cache[qual]
+        if qual in trail:
+            return set()
+        entry = classes.get(qual)
+        if entry is None:
+            return set()
+        trail = trail | {qual}
+        names = set(entry.get("fields", {}))
+        for base in entry.get("bases", []):
+            names |= closure(base, trail)
+        cache[qual] = names
+        return names
+
+    return {qual: closure(qual, set()) for qual in classes}
 
 
 # ----------------------------------------------------------------------
@@ -579,6 +612,11 @@ def _fork_unsafe(model: StateModel, cls: ClassModel) -> List[Violation]:
     if not cls.in_component:
         return []
     violations: List[Violation] = []
+    # Fields the snapshot protocol re-encodes as owner references and
+    # rebinds on restore: stored callables there are fork-safe by
+    # construction.  A rebind declaration cannot bless handles or live
+    # generators -- no registry can recreate those.
+    rebind = frozenset(cls.info.rebind or ())
     for name in sorted(cls.fields):
         field = cls.fields[name]
         for assign in field.assigns:
@@ -588,6 +626,8 @@ def _fork_unsafe(model: StateModel, cls: ClassModel) -> List[Violation]:
                 detail = f"{cls.name}.{name} holds an OS handle"
             elif kind == "generator":
                 detail = f"{cls.name}.{name} holds a live generator"
+            elif kind == "callable" and name in rebind:
+                continue
             elif kind == "callable":
                 if assign.target == "<lambda>":
                     detail = f"{cls.name}.{name} stores a lambda"

@@ -58,6 +58,12 @@ class GetResult:
 class _PendingGet:
     __slots__ = ("index", "size", "issued_at", "first_byte_at", "remaining", "callback")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("index", "size", "issued_at", "first_byte_at", "remaining", "callback")
+    #: Fields :mod:`repro.sim.snapshot` encodes as owner references and
+    #: rebinds on restore (exempts them from RPR914).
+    SNAPSHOT_REBIND = ("callback",)
+
     def __init__(self, index: int, size: int, issued_at: float, callback) -> None:
         self.index = index
         self.size = size
@@ -79,6 +85,17 @@ class HttpSession:
     """
 
     __slots__ = (
+        "sim",
+        "conn",
+        "request_size",
+        "results",
+        "observers",
+        "_pending",
+        "_next_index",
+    )
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
         "sim",
         "conn",
         "request_size",

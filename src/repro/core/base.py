@@ -36,6 +36,9 @@ class Scheduler:
 
     __slots__ = ("conn", "uid", "decisions", "waits")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("conn", "uid", "decisions", "waits")
+
     def __init__(self) -> None:
         self.conn: Optional["MptcpConnection"] = None
         self.uid = _events.next_uid()

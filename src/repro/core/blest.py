@@ -47,6 +47,9 @@ class BlestScheduler(Scheduler):
 
     __slots__ = ("lambda_", "wait_decisions", "_last_limited_seen")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("lambda_", "wait_decisions", "_last_limited_seen")
+
     def __init__(self) -> None:
         super().__init__()
         self.lambda_ = 1.0

@@ -37,6 +37,9 @@ class DapsScheduler(Scheduler):
 
     __slots__ = ("_schedule", "schedules_built")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("_schedule", "schedules_built")
+
     def __init__(self) -> None:
         super().__init__()
         self._schedule: Deque[int] = deque()

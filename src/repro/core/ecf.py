@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.analysis import events as _events
 from repro.core.base import Scheduler
@@ -82,6 +82,8 @@ class EcfScheduler(Scheduler):
         "waiting",
         "wait_decisions",
         "send_on_slow_decisions",
+        "ecf_decisions",
+        "forced_decisions",
     )
 
     #: The snapshot contract: the fields this class gives birth to (the
@@ -92,6 +94,8 @@ class EcfScheduler(Scheduler):
         "waiting",
         "wait_decisions",
         "send_on_slow_decisions",
+        "ecf_decisions",
+        "forced_decisions",
     )
 
     def __init__(self, beta: float = DEFAULT_BETA, use_second_inequality: bool = True) -> None:
@@ -105,6 +109,20 @@ class EcfScheduler(Scheduler):
         self.waiting = False
         self.wait_decisions = 0
         self.send_on_slow_decisions = 0
+        #: Monotone count of Algorithm 1 evaluations -- the index the
+        #: twin-run driver keys its forced-choice overrides on.
+        self.ecf_decisions = 0
+        #: Decision index -> "wait" | "slow".  A forked world forces the
+        #: counterfactual choice here; the hysteresis update still runs
+        #: on the final (forced) value, so forcing the choice the
+        #: scheduler would have made anyway replays byte-identically.
+        self.forced_decisions: Dict[int, str] = {}
+
+    def force_decision(self, index: int, choice: str) -> None:
+        """Override Algorithm 1's outcome for the ``index``-th decision."""
+        if choice not in ("wait", "slow"):
+            raise ValueError(f"choice must be 'wait' or 'slow', got {choice!r}")
+        self.forced_decisions[index] = choice
 
     def select(self, conn: "MptcpConnection") -> Optional["Subflow"]:
         self.decisions += 1
@@ -147,8 +165,13 @@ class EcfScheduler(Scheduler):
         differential oracle.
         """
         waiting_before = self.waiting
+        index = self.ecf_decisions
+        self.ecf_decisions = index + 1
         inputs = self._decision_inputs(conn, fastest, second)
         wait = self._evaluate(inputs)
+        forced = self.forced_decisions.get(index) if self.forced_decisions else None
+        if forced is not None:
+            wait = forced == "wait"
         if wait:
             self.waiting = True
         elif not (inputs.n_rounds * inputs.rtt_f < inputs.threshold):
@@ -176,6 +199,7 @@ class EcfScheduler(Scheduler):
                 waiting_after=self.waiting,
                 n_rounds=inputs.n_rounds,
                 threshold=inputs.threshold,
+                forced=forced is not None,
             ))
         return wait
 

@@ -26,6 +26,9 @@ class RoundRobinScheduler(Scheduler):
 
     __slots__ = ("_next",)
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("_next",)
+
     def __init__(self) -> None:
         super().__init__()
         self._next = 0

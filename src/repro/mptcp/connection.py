@@ -90,6 +90,32 @@ class MptcpConnection:
     name: label for traces and debugging.
     """
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "sim",
+        "config",
+        "scheduler",
+        "name",
+        "cc",
+        "receiver",
+        "subflows",
+        "next_dsn",
+        "conn_una",
+        "unassigned_bytes",
+        "total_written",
+        "peer_recv_window",
+        "reinjections",
+        "scheduler_waits",
+        "duplicate_transmissions",
+        "_outstanding_dsn",
+        "_dsn_order",
+        "_reinjected",
+        "_last_penalized",
+        "_rto_reinject_queue",
+        "_rto_reinject_pending",
+        "_sending",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -269,7 +295,11 @@ class MptcpConnection:
     # Client side (runs at the receiver host)
     # ------------------------------------------------------------------
     def _client_on_data(self, packet: Packet) -> None:
-        self.receiver.on_data(packet)
+        if not self.receiver.on_data(packet):
+            # Dropped for lack of receive-buffer space: stay silent so the
+            # subflow-level RTO retransmits the segment once the window
+            # reopens.  Acking it would discard the data permanently.
+            return
         subflow = self.subflows[packet.subflow_id]
         subflow.send_ack(
             ack_seq=packet.seq,

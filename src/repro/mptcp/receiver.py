@@ -44,12 +44,16 @@ class MptcpReceiver:
         "expected_dsn",
         "delivered_bytes",
         "duplicate_packets",
+        "window_drops",
         "ooo_delays",
         "max_buffered_bytes",
         "last_arrival_by_subflow",
         "_buffered",
         "_buffered_bytes",
     )
+    #: Fields :mod:`repro.sim.snapshot` encodes as owner references and
+    #: rebinds on restore (exempts them from RPR914).
+    SNAPSHOT_REBIND = ("on_deliver",)
 
     def __init__(
         self,
@@ -69,6 +73,10 @@ class MptcpReceiver:
         self.expected_dsn = 0
         self.delivered_bytes = 0
         self.duplicate_packets = 0
+        #: Out-of-order segments discarded because buffering them would
+        #: exceed ``recv_buffer_bytes``.  The subflow-level RTO recovers
+        #: the data later, exactly like real out-of-window TCP data.
+        self.window_drops = 0
         self.ooo_delays: List[float] = []
         self.max_buffered_bytes = 0
         #: Arrival time of the most recent data packet per subflow id
@@ -81,17 +89,43 @@ class MptcpReceiver:
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
-    def on_data(self, packet: Packet) -> None:
-        """Absorb one data segment (possibly a duplicate or out of order)."""
+    def on_data(self, packet: Packet) -> bool:
+        """Absorb one data segment (possibly a duplicate or out of order).
+
+        Returns True when the segment was absorbed (delivered, buffered,
+        or recognized as an already-held duplicate) and should be acked at
+        the subflow level; False when it was dropped for lack of receive
+        buffer space, in which case the caller must *not* ack it so the
+        sender's RTO eventually retransmits the data.
+        """
         now = self.sim.now
         self.last_arrival_by_subflow[packet.subflow_id] = now
         dsn, payload = packet.dsn, packet.payload
         if dsn < self.expected_dsn or dsn in self._buffered:
+            # The sender assigns DSN ranges contiguously and retransmits
+            # them verbatim, so a stale segment is always a whole already
+            # delivered (or already buffered) chunk -- a segment straddling
+            # the delivery edge cannot occur and would silently lose its
+            # unseen tail if treated as a duplicate.  Enforce the model
+            # invariant here (cheap: duplicates are the rare path).
+            if dsn < self.expected_dsn < dsn + payload:
+                raise ValueError(
+                    f"segment [{dsn}, {dsn + payload}) straddles the delivery "
+                    f"edge expected_dsn={self.expected_dsn}; the sender never "
+                    "emits overlapping DSN ranges"
+                )
             self.duplicate_packets += 1
-            return
+            return True
+        absorbed = True
         if dsn == self.expected_dsn:
             self._deliver(payload, delay=0.0)
             self._drain_buffer()
+        elif self._buffered_bytes + payload > self.recv_buffer_bytes:
+            # Out-of-window data: the advertised buffer cannot hold it.
+            # Real receivers discard such segments; modeling an infinite
+            # buffer here would hide flow-control bugs on the sender side.
+            self.window_drops += 1
+            absorbed = False
         else:
             self._buffered[dsn] = (payload, now)
             self._buffered_bytes += payload
@@ -99,6 +133,7 @@ class MptcpReceiver:
                 self.max_buffered_bytes = self._buffered_bytes
         if _sanitize.CHECKS is not None:
             _sanitize.CHECKS.receiver(self)
+        return absorbed
 
     def _drain_buffer(self) -> None:
         now = self.sim.now

@@ -43,6 +43,17 @@ class LinkStats:
         "busy_time",
     )
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "packets_in",
+        "packets_delivered",
+        "packets_dropped_queue",
+        "packets_dropped_random",
+        "packets_dropped_outage",
+        "bytes_delivered",
+        "busy_time",
+    )
+
     def __init__(self) -> None:
         self.packets_in = 0
         self.packets_delivered = 0
@@ -101,6 +112,28 @@ class Link:
     name:
         Label used in traces and error messages.
     """
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "sim",
+        "rate_bps",
+        "delay",
+        "queue_bytes",
+        "loss_rate",
+        "jitter",
+        "rng",
+        "name",
+        "stats",
+        "on_drop",
+        "_queue",
+        "_queued_bytes",
+        "_busy",
+        "_down",
+        "_tx_timer",
+        "_in_propagation",
+        "_finish_cb",
+        "_deliver_cb",
+    )
 
     def __init__(
         self,

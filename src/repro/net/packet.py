@@ -60,6 +60,21 @@ class Packet:
         "recv_window",
     )
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "size",
+        "payload",
+        "subflow_id",
+        "seq",
+        "dsn",
+        "is_ack",
+        "ack_seq",
+        "data_ack",
+        "sent_time",
+        "retransmitted",
+        "recv_window",
+    )
+
     def __init__(
         self,
         size: int,

@@ -31,6 +31,9 @@ class Path:
 
     __slots__ = ("name", "forward", "reverse")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("name", "forward", "reverse")
+
     def __init__(self, name: str, forward: Link, reverse: Link) -> None:
         self.name = name
         self.forward = forward

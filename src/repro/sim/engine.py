@@ -79,6 +79,10 @@ class Timer:
 
     #: Snapshot contract for checkpoint/fork (audited by RPR915).
     STATE_FIELDS = ("time", "seq", "callback", "args", "cancelled", "_sim")
+    #: Fields :mod:`repro.sim.snapshot` encodes as owner references and
+    #: rebinds on restore (exempts them from RPR914): the callback is a
+    #: bound method of another snapshotted object, never copied raw.
+    SNAPSHOT_REBIND = ("callback",)
 
     def __init__(
         self,
@@ -278,9 +282,13 @@ class Simulator:
         until:
             Stop once the clock would pass this time.  Events scheduled at
             exactly ``until`` are executed, and the clock is advanced to
-            ``until`` even if the event queue drains earlier.
+            ``until`` when the queue drains (or only holds later events)
+            before reaching it.  When ``max_events`` stops the run first,
+            the clock stays at the last dispatched event so the pending
+            backlog is still in the future.
         max_events:
-            Safety valve for tests; stop after this many events.
+            Safety valve for tests and checkpointing drivers; stop after
+            this many events.
 
         Returns
         -------
@@ -352,7 +360,13 @@ class Simulator:
             self._running = False
             self._events_processed += executed
         if until is not None and self.now < until:
-            self.now = until
+            # Fast-forward only when nothing is pending at or before
+            # ``until``: a budget-stopped run must not leave events in the
+            # past (schedule_at would raise and dispatch monotonicity in
+            # the sanitizer would be violated on the next call).
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
         return executed
 
     def step(self) -> bool:

@@ -26,6 +26,12 @@ class RngRegistry:
     True
     """
 
+    __slots__ = ("seed", "_streams")
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915): the
+    #: streams dict is captured via ``Random.getstate``/``setstate``.
+    STATE_FIELDS = ("seed", "_streams")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}

@@ -33,6 +33,9 @@ class TraceRecorder:
 
     __slots__ = ("enabled", "max_samples_per_series", "_series")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("enabled", "max_samples_per_series", "_series")
+
     def __init__(
         self, enabled: bool = True, max_samples_per_series: Optional[int] = None
     ) -> None:

@@ -29,6 +29,9 @@ class CongestionController:
 
     __slots__ = ("_subflows",)
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("_subflows",)
+
     def __init__(self) -> None:
         self._subflows: List["Subflow"] = []
 

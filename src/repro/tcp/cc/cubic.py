@@ -35,6 +35,9 @@ BETA_CUBIC = 0.7
 class _CubicState:
     __slots__ = ("w_max", "epoch_start", "k", "reno_cwnd")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("w_max", "epoch_start", "k", "reno_cwnd")
+
     def __init__(self) -> None:
         self.w_max = 0.0
         self.epoch_start = -1.0
@@ -49,15 +52,22 @@ class CubicController(CongestionController):
 
     __slots__ = ("_state",)
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("_state",)
+
     def __init__(self) -> None:
         super().__init__()
-        self._state: Dict[int, _CubicState] = {}
+        # Keyed by the subflow itself (identity hash), NOT id(subflow):
+        # a snapshot restore builds new subflow objects, and object keys
+        # follow them through the reference table while raw ids would
+        # dangle and silently reset every CUBIC epoch.
+        self._state: Dict["Subflow", _CubicState] = {}
 
     def _state_for(self, subflow: "Subflow") -> _CubicState:
-        state = self._state.get(id(subflow))
+        state = self._state.get(subflow)
         if state is None:
             state = _CubicState()
-            self._state[id(subflow)] = state
+            self._state[subflow] = state
         return state
 
     def ca_increase(self, subflow: "Subflow") -> float:

@@ -52,6 +52,9 @@ class Segment:
 
     __slots__ = ("seq", "dsn", "payload", "sent_time", "retransmitted", "acked", "lost", "in_flight")
 
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = ("seq", "dsn", "payload", "sent_time", "retransmitted", "acked", "lost", "in_flight")
+
     def __init__(self, seq: int, dsn: int, payload: int, sent_time: float) -> None:
         self.seq = seq
         self.dsn = dsn
@@ -73,6 +76,22 @@ class SubflowStats:
     """Lifetime counters for one subflow."""
 
     __slots__ = (
+        "segments_sent",
+        "segments_retransmitted",
+        "bytes_sent",
+        "bytes_acked",
+        "payload_bytes_sent",
+        "idle_resets",
+        "rto_events",
+        "fast_retransmits",
+        "bytes_since_loss",
+        "penalizations",
+        "last_data_sent_at",
+        "last_data_acked_at",
+    )
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
         "segments_sent",
         "segments_retransmitted",
         "bytes_sent",
@@ -124,6 +143,41 @@ class Subflow:
         (secondary subflows join one handshake later than the primary).
     max_cwnd: cap on cwnd growth, segments.
     """
+
+    #: Snapshot contract for checkpoint/fork (audited by RPR915).
+    STATE_FIELDS = (
+        "sim",
+        "path",
+        "cc",
+        "sf_id",
+        "uid",
+        "mss",
+        "initial_window",
+        "idle_reset_enabled",
+        "established_at",
+        "max_cwnd",
+        "cwnd",
+        "ssthresh",
+        "rtt",
+        "stats",
+        "next_seq",
+        "una",
+        "highest_acked",
+        "receiver_callback",
+        "on_ack_processed",
+        "on_rto",
+        "_outstanding",
+        "_in_flight",
+        "_retx_queue",
+        "_in_recovery",
+        "_recovery_point",
+        "_rto_timer",
+        "_rto_deadline",
+        "_rto_backoff",
+        "_last_send_time",
+        "_loss_scanned_to",
+        "_default_rtt",
+    )
 
     def __init__(
         self,

@@ -24,3 +24,16 @@ class Recorder:
         self.stream = (x * x for x in range(4))  # RPR914: live generator
         self.dispatch = sim.schedule  # RPR914: bound method of another object
         self.on_done = lambda: None  # RPR914: lambda in reachable state
+
+
+class RebindRecorder:
+    """Reachable as well, but its callable is declared rebind-safe."""
+
+    __slots__ = ("owner", "hook", "fh")
+
+    SNAPSHOT_REBIND = ("hook", "fh")
+
+    def __init__(self, sim: "Simulator"):
+        self.owner = sim
+        self.hook = sim.schedule  # exempt: snapshot rebinds via owner registry
+        self.fh = open("rebind.log", "w")  # RPR914: rebind cannot bless a handle

@@ -107,12 +107,56 @@ class TestRecvWindow:
 
     def test_window_never_negative(self, sim):
         rx = MptcpReceiver(sim, recv_buffer_bytes=300)
-        rx.on_data(data(100, payload=400))
-        assert rx.recv_window == 0
+        assert rx.on_data(data(100, payload=400)) is False
+        assert rx.window_drops == 1
+        assert rx.buffered_bytes == 0
+        assert rx.recv_window == 300
 
     def test_rejects_nonpositive_buffer(self, sim):
         with pytest.raises(ValueError):
             MptcpReceiver(sim, recv_buffer_bytes=0)
+
+
+class TestWindowOverflow:
+    def test_stalled_gap_with_tiny_buffer_drops_instead_of_growing(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=250)
+        # DSN 0 never arrives: every out-of-order segment parks in the
+        # buffer until capacity runs out, then gets dropped and counted.
+        assert rx.on_data(data(100)) is True
+        assert rx.on_data(data(200)) is True
+        for dsn in range(300, 1000, 100):
+            assert rx.on_data(data(dsn)) is False
+        assert rx.buffered_bytes == 200
+        assert rx.buffered_bytes <= rx.recv_buffer_bytes
+        assert rx.window_drops == 7
+        assert rx.recv_window == 50
+
+    def test_in_order_delivery_ignores_buffer_capacity(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=100)
+        assert rx.on_data(data(0, payload=5000)) is True
+        assert rx.delivered_bytes == 5000
+        assert rx.window_drops == 0
+
+    def test_dropped_segment_can_be_retransmitted_later(self, sim):
+        rx = MptcpReceiver(sim, recv_buffer_bytes=150)
+        assert rx.on_data(data(100)) is True
+        assert rx.on_data(data(200)) is False  # no room yet
+        assert rx.on_data(data(0)) is True  # gap fills, buffer drains
+        assert rx.on_data(data(200)) is True  # retransmitted copy fits now
+        assert rx.delivered_bytes == 300
+        assert rx.window_drops == 1
+
+
+class TestOverlapStraddle:
+    def test_segment_straddling_delivery_edge_is_rejected(self, sim, rx):
+        rx.on_data(data(0))
+        with pytest.raises(ValueError, match="straddles the delivery edge"):
+            rx.on_data(data(50, payload=100))
+
+    def test_whole_stale_segment_is_a_plain_duplicate(self, sim, rx):
+        rx.on_data(data(0))
+        assert rx.on_data(data(0)) is True
+        assert rx.duplicate_packets == 1
 
 
 class TestLastArrival:

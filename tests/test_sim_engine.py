@@ -95,6 +95,38 @@ class TestRunControl:
         assert sim.run(max_events=4) == 4
         assert sim.pending_events == 6
 
+    def test_budget_stop_does_not_fast_forward_past_pending(self, sim):
+        # Regression: with events still pending at t <= until, a
+        # max_events stop must leave the clock at the last dispatched
+        # event, or the backlog would sit in the past.
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(until=10.0, max_events=2) == 2
+        assert sim.now == 2.0
+        # Continuing is legal: nothing is scheduled in the past.
+        sim.schedule_at(2.5, lambda: None)
+        assert sim.run(until=10.0) == 4
+        assert sim.now == 10.0
+
+    def test_budget_stop_still_advances_when_rest_is_later(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        assert sim.run(until=10.0, max_events=1) == 1
+        assert sim.now == 10.0
+
+    def test_budget_stop_resume_is_monotonic_under_sanitizer(self, sim):
+        from repro.analysis import sanitize
+
+        for i in range(6):
+            sim.schedule(float(i + 1), lambda: None)
+        sanitize.enable()
+        try:
+            sim.run(until=10.0, max_events=3)
+            sim.run(until=10.0)
+        finally:
+            sanitize.disable()
+        assert sim.now == 10.0
+
     def test_step_executes_one_event(self, sim):
         fired = []
         sim.schedule(1.0, fired.append, 1)

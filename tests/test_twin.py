@@ -1,0 +1,186 @@
+"""Counterfactual twin runs: fork equivalence and regret reporting."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps.bulk import BulkDownloadSpec, run_bulk
+from repro.experiments import twin
+from repro.net.profiles import lte_config, wifi_config
+from repro.obs.timeline import (
+    counterfactual_spans,
+    twin_timeline_document,
+    validate_trace_events,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_perf_digests.json").read_text()
+)
+
+PATHS = (wifi_config(1.0), lte_config(8.6))
+
+#: The two golden workloads the twin world builder can reproduce
+#: byte-for-byte (the exact specs of tests/test_perf.py's golden suite).
+GOLDEN_SPECS = {
+    "bulk_ecf": BulkDownloadSpec(
+        scheduler="ecf", path_configs=PATHS, size=256_000, seed=3),
+    "bulk_minrtt": BulkDownloadSpec(
+        scheduler="minrtt", path_configs=PATHS, size=256_000, seed=3),
+}
+
+
+def _small_spec(scheduler="ecf", size=96_000, seed=3):
+    return BulkDownloadSpec(
+        scheduler=scheduler, path_configs=PATHS, size=size, seed=seed)
+
+
+class TestWorldBuilder:
+    """The closure-free twin world must be indistinguishable from run_bulk."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+    def test_straight_run_matches_golden_digest(self, name):
+        world = twin.build_world(GOLDEN_SPECS[name])
+        result = world.run_to_completion()
+        assert twin.result_digest(result) == GOLDEN[name]
+
+    def test_matches_run_bulk_exactly(self):
+        spec = _small_spec()
+        via_twin = twin.build_world(spec).run_to_completion()
+        via_bulk = run_bulk(spec)
+        assert via_twin.to_dict() == via_bulk.to_dict()
+
+    def test_incomplete_download_raises(self):
+        spec = BulkDownloadSpec(
+            scheduler="ecf", path_configs=PATHS, size=50_000_000, seed=3,
+            timeout=1.0)
+        world = twin.build_world(spec)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            world.run_to_completion()
+
+
+class TestForkEquivalence:
+    """Forcing the *recorded* choice must replay byte-identically.
+
+    Run on two of the six golden workloads: ``bulk_ecf`` exercises the
+    decision-forcing path, ``bulk_minrtt`` the no-decision restore path.
+    """
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+    def test_golden_workload_fork_is_byte_identical(self, name):
+        report = twin.verify_fork_equivalence(
+            GOLDEN_SPECS[name], checkpoint_every=500)
+        assert report["ok"], (
+            f"fork of {name} diverged: {report['baseline_digest']} != "
+            f"{report['replay_digest']}")
+        # The straight run itself still matches the committed golden.
+        assert report["baseline_digest"] == GOLDEN[name]
+        if name == "bulk_ecf":
+            assert report["decisions_total"] > 0
+        else:
+            assert report["decisions_total"] == 0
+
+    def test_every_checkpoint_restores_to_the_same_future(self):
+        recording = twin.record(_small_spec(), checkpoint_every=300)
+        assert len(recording.checkpoints) >= 2
+        for count, snap in recording.checkpoints:
+            world = twin.fork(snap)
+            world["sim"].run(until=recording.spec.timeout)
+            replayed = twin.finish(
+                recording.spec, world["conn"], world["recorder"])
+            assert twin.result_digest(replayed) == recording.digest, (
+                f"checkpoint at decision count {count} diverged")
+
+
+class TestRecording:
+    def test_checkpoint_before_picks_latest_preceding(self):
+        recording = twin.record(_small_spec(), checkpoint_every=150)
+        counts = [count for count, _ in recording.checkpoints]
+        assert counts == sorted(counts)
+        last = recording.checkpoints[-1]
+        # An index >= the final count maps to the final checkpoint ...
+        assert recording.checkpoint_before(last[0] + 10) is last[1]
+        # ... and index 0 to the t=0 world.
+        assert recording.checkpoint_before(0) is recording.checkpoints[0][1]
+
+    def test_decisions_are_logged_in_index_order(self):
+        recording = twin.record(_small_spec(), checkpoint_every=500)
+        times = [d.t for d in recording.decisions]
+        assert times == sorted(times)
+        assert all(not d.forced for d in recording.decisions)
+
+
+class TestTwinReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return twin.twin_report(
+            _small_spec(), checkpoint_every=500, max_decisions=5)
+
+    def test_report_shape(self, report):
+        assert report["kind"] == "twin_report"
+        assert report["decisions_replayed"] == len(report["regret"]) <= 5
+        assert report["decisions_total"] >= report["decisions_replayed"]
+        assert (report["decisions_truncated"]
+                == report["decisions_total"] - report["decisions_replayed"])
+
+    def test_regret_records_are_complete(self, report):
+        base = report["baseline"]["completion_time"]
+        for record in report["regret"]:
+            assert record["forced"] != record["decision"]
+            assert {record["forced"], record["decision"]} <= {"wait", "slow"}
+            assert record["completion_delta"] == pytest.approx(
+                record["completion_time"] - base)
+
+    def test_report_is_json_serializable(self, report):
+        json.dumps(report)
+
+
+class TestCounterfactualSpans:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return twin.twin_report(
+            _small_spec(), checkpoint_every=500, max_decisions=3)
+
+    def test_spans_one_per_decision(self, report):
+        spans = [e for e in counterfactual_spans(report) if e["ph"] == "X"]
+        counters = [e for e in counterfactual_spans(report) if e["ph"] == "C"]
+        assert len(spans) == len(report["regret"])
+        assert len(counters) == len(report["regret"])
+        for span, record in zip(spans, report["regret"]):
+            assert span["dur"] >= 1
+            assert span["args"]["index"] == record["index"]
+
+    def test_document_validates(self, report):
+        document = twin_timeline_document(report)
+        assert validate_trace_events(document) == []
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "M"}
+        assert "process_name" in names
+
+
+class TestCli:
+    def test_twin_command_writes_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "twin.json"
+        trace = tmp_path / "trace.json"
+        code = main([
+            "twin", "--wifi", "1.0", "--lte", "8.6", "--size", "64k",
+            "--max-decisions", "3", "-o", str(out), "--trace-out", str(trace),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["kind"] == "twin_grid"
+        assert len(report["cells"]) == 1
+        assert report["cells"][0]["kind"] == "twin_report"
+        assert validate_trace_events(json.loads(trace.read_text())) == []
+        assert "regret" in capsys.readouterr().out
+
+    def test_twin_verify_mode(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "twin", "--wifi", "1.0", "--lte", "8.6", "--size", "64k",
+            "--verify",
+        ])
+        assert code == 0
+        assert "verify ok" in capsys.readouterr().out
