@@ -651,13 +651,33 @@ def cmd_bench(args) -> int:
     names = args.workload or list(WORKLOADS)
     records = {}
     print(f"{'workload':<14}{'events':>9}{'sim s':>9}{'wall s':>9}{'events/s':>13}")
-    for name in names:
-        record = run_workload(name, scale=args.scale, repeat=args.repeat)
-        records[name] = record
+
+    def run_matrix() -> None:
+        for name in names:
+            record = run_workload(name, scale=args.scale, repeat=args.repeat)
+            records[name] = record
+            print(
+                f"{name:<14}{record.events:>9d}{record.sim_s:>9.1f}"
+                f"{record.wall_s:>9.3f}{record.events_per_wall_s:>13,.0f}"
+            )
+
+    if args.profile:
+        from repro.perf.profiler import profiling
+
+        with profiling() as prof:
+            run_matrix()
+        profile_path = Path(args.profile)
+        if profile_path.parent != Path("."):
+            profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile_path.write_text(prof.collapsed())
+        summary = prof.report()
         print(
-            f"{name:<14}{record.events:>9d}{record.sim_s:>9.1f}"
-            f"{record.wall_s:>9.3f}{record.events_per_wall_s:>13,.0f}"
+            f"wrote {profile_path} "
+            f"({len(summary['components'])} components, "
+            f"{summary['runs']} run(s) profiled)"
         )
+    else:
+        run_matrix()
     rev = current_rev()
     report = report_to_dict(records, rev, args.scale)
     output = Path(args.output) if args.output else Path(f"BENCH_{rev}.json")
@@ -759,7 +779,10 @@ def cmd_campaign_submit(args) -> int:
 
 
 def cmd_campaign_status(args) -> int:
+    import json
+
     from repro.service import CampaignStore
+    from repro.service.daemon import status_document
 
     with CampaignStore(args.db) as store:
         campaign = store.campaign(args.name)
@@ -768,6 +791,13 @@ def cmd_campaign_status(args) -> int:
             print(f"no campaign {args.name!r} in {args.db}; known: {known}",
                   file=sys.stderr)
             return 1
+        if getattr(args, "json", False):
+            # The same document a `campaign serve` daemon exposes on
+            # /status (minus its live rate gauges) -- one schema, two
+            # transports.
+            print(json.dumps(status_document(store, args.name),
+                             indent=2, sort_keys=True))
+            return 0
         counts = store.counts(campaign.id)
         _print_campaign_counts(args.name, counts)
         for job in store.jobs(campaign.id, status="failed"):
@@ -848,6 +878,125 @@ def cmd_campaign_retry(args) -> int:
     counts = runner.drain()
     _print_campaign_counts(args.name, counts)
     return 0 if counts.get("failed", 0) == 0 else 1
+
+
+def cmd_campaign_serve(args) -> int:
+    import os
+    import signal
+
+    from repro.perf import counters as perf_counters
+    from repro.service import CampaignStore
+    from repro.service.daemon import CampaignDaemon
+
+    if not args.no_perf:
+        # Per-job perf records feed the daemon's events/s gauge and the
+        # repro_perf_* counters; pool workers inherit the environment.
+        os.environ.setdefault(perf_counters.ENV_VAR, "1")
+    store = CampaignStore(args.db)
+    campaign = store.campaign(args.name)
+    if campaign is None:
+        known = ", ".join(row.name for row in store.campaigns()) or "(none)"
+        print(f"no campaign {args.name!r} in {args.db}; known: {known}",
+              file=sys.stderr)
+        return 1
+    backend = None
+    if args.jobs is not None:
+        from repro.service import InlineBackendConfig, PoolBackendConfig
+
+        backend = (InlineBackendConfig() if args.jobs == 1
+                   else PoolBackendConfig(jobs=args.jobs))
+    daemon = CampaignDaemon(
+        store,
+        args.name,
+        backend=backend,
+        cache_dir=args.cache_dir or campaign.cache_dir or ".repro-cache",
+        journal=str(Path(str(store.path)).with_suffix(".journal.jsonl")),
+        max_attempts=args.max_attempts,
+        host=args.host,
+        port=args.port,
+        poll_interval_s=args.poll_interval,
+        journal_max_bytes=args.journal_max_bytes or None,
+    )
+    daemon.start_http()
+    print(
+        f"campaign {args.name}: serving /metrics /status /healthz on "
+        f"{daemon.endpoint}",
+        flush=True,
+    )
+
+    def _stop(signum, frame) -> None:
+        daemon.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    try:
+        doc = daemon.serve(
+            max_loops=args.max_loops, linger=not args.exit_when_done
+        )
+    finally:
+        daemon.shutdown()
+    counts = doc.get("counts", {})
+    _print_campaign_counts(args.name, counts)
+    return 0 if counts.get("failed", 0) == 0 else 1
+
+
+def cmd_campaign_watch(args) -> int:
+    import time
+
+    from repro.service.daemon import fetch_status, render_watch_line
+
+    if not args.endpoint and not args.name:
+        print("watch needs a campaign name or --endpoint URL", file=sys.stderr)
+        return 1
+
+    def read_doc() -> dict:
+        if args.endpoint:
+            return fetch_status(args.endpoint)
+        from repro.service import CampaignStore
+        from repro.service.daemon import status_document
+
+        with CampaignStore(args.db) as store:
+            return status_document(store, args.name)
+
+    live = sys.stdout.isatty() and not args.once
+    while True:
+        try:
+            doc = read_doc()
+        except (OSError, KeyError, ValueError) as exc:
+            if live:
+                print()
+            print(f"watch: {exc}", file=sys.stderr)
+            return 1
+        line = render_watch_line(doc)
+        if live:
+            sys.stdout.write("\r\x1b[K" + line)
+            sys.stdout.flush()
+        else:
+            print(line, flush=True)
+        counts = doc.get("counts", {})
+        if args.once or (doc.get("remaining") == 0 and not args.follow):
+            if live:
+                print()
+            return 0 if counts.get("failed", 0) == 0 else 1
+        time.sleep(args.interval)
+
+
+def cmd_metrics_validate(args) -> int:
+    from repro.obs.metrics import validate_openmetrics
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.file).read_text()
+    problems = validate_openmetrics(text)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    families = sum(1 for line in text.splitlines() if line.startswith("# TYPE "))
+    print(f"{args.file}: valid OpenMetrics exposition ({families} families)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1001,7 +1150,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("name")
     cp.add_argument("--db", default="campaigns.db", metavar="FILE")
+    cp.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable status document (the same JSON "
+        "a `campaign serve` daemon exposes on /status)",
+    )
     cp.set_defaults(func=cmd_campaign_status)
+
+    cp = campaign_sub.add_parser(
+        "serve",
+        help="long-lived drain loop with an OpenMetrics/JSON telemetry "
+        "endpoint (/metrics, /status, /healthz)",
+    )
+    cp.add_argument("name", help="campaign name (submit jobs first, e.g. "
+                    "with submit --no-run)")
+    cp.add_argument("--db", default="campaigns.db", metavar="FILE",
+                    help="SQLite campaign store (default: campaigns.db)")
+    cp.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache (default: the campaign's recorded cache)",
+    )
+    cp.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="override the stored backend (1 = inline, N = pool; "
+        "default: resume the campaign's recorded backend)",
+    )
+    cp.add_argument(
+        "--max-attempts", type=_positive_int, default=3, metavar="N",
+        help="per-job attempt budget enforced on requeue (default: 3)",
+    )
+    cp.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    cp.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="HTTP port (default: 0 = pick a free one, printed at startup)",
+    )
+    cp.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="S",
+        help="sleep between drain iterations (default: 2)",
+    )
+    cp.add_argument(
+        "--max-loops", type=int, default=None, metavar="N",
+        help="exit after N drain iterations (tests/CI)",
+    )
+    cp.add_argument(
+        "--exit-when-done", action="store_true",
+        help="exit once no jobs remain instead of lingering for more "
+        "submissions and late scrapes",
+    )
+    cp.add_argument(
+        "--journal-max-bytes", type=int, default=16 * 1024 * 1024,
+        metavar="BYTES",
+        help="rotate the drain journal past this size, keeping a tail "
+        "(default: 16 MiB; 0 = unbounded)",
+    )
+    cp.add_argument(
+        "--no-perf", action="store_true",
+        help="do not enable per-job perf records (disables the events/s "
+        "gauge and repro_perf_* counters)",
+    )
+    cp.set_defaults(func=cmd_campaign_serve)
+
+    cp = campaign_sub.add_parser(
+        "watch", help="live one-line terminal status view of a campaign"
+    )
+    cp.add_argument("name", nargs="?", default=None,
+                    help="campaign name (omit when polling --endpoint)")
+    cp.add_argument("--db", default="campaigns.db", metavar="FILE")
+    cp.add_argument(
+        "--endpoint", default=None, metavar="URL",
+        help="poll a running `campaign serve` daemon (http://host:port) "
+        "instead of reading the store directly",
+    )
+    cp.add_argument("--interval", type=float, default=2.0, metavar="S",
+                    help="refresh interval (default: 2)")
+    cp.add_argument("--once", action="store_true",
+                    help="print one status line and exit")
+    cp.add_argument(
+        "--follow", action="store_true",
+        help="keep watching after the campaign finishes",
+    )
+    cp.set_defaults(func=cmd_campaign_watch)
 
     cp = campaign_sub.add_parser(
         "fetch", help="export the finished results as JSON lines"
@@ -1053,7 +1282,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=int, default=1, metavar="N",
         help="run each workload N times, keep the fastest (default: 1)",
     )
+    p.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="attribute wall time per simulator component and write "
+        "collapsed stacks to FILE (flamegraph.pl / speedscope format)",
+    )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="telemetry utilities for the repro.obs.metrics registry",
+    )
+    metrics_sub = p.add_subparsers(dest="metrics_command", required=True)
+    mv = metrics_sub.add_parser(
+        "validate",
+        help="structurally validate an OpenMetrics text exposition "
+        "(a /metrics scrape body)",
+    )
+    mv.add_argument("file", help="exposition text file ('-' = stdin)")
+    mv.set_defaults(func=cmd_metrics_validate)
 
     p = sub.add_parser(
         "check",

@@ -111,6 +111,12 @@ class JobOutcome:
     attempts: int
     error: Optional[Dict[str, str]] = None
     postmortem: Optional[str] = None
+    #: With ``REPRO_PERF`` set, the run's perf record
+    #: (:meth:`repro.perf.counters.PerfRecord.to_dict` shape) as it rode
+    #: back on the result dict -- including across the ``pool`` process
+    #: boundary.  ``None`` on cache hits (the cache strips perf) and
+    #: failures.  The telemetry registry sums these per campaign.
+    perf: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -485,6 +491,7 @@ class ExperimentExecutor:
                 wall_s=round(wall_s, 6),
                 attempts=attempts,
             )
+            perf = result_dict.get("perf")
             emit(
                 JobOutcome(
                     index=index,
@@ -493,6 +500,7 @@ class ExperimentExecutor:
                     status="executed",
                     wall_s=round(wall_s, 6),
                     attempts=attempts,
+                    perf=perf if isinstance(perf, dict) else None,
                 )
             )
             report()

@@ -35,6 +35,7 @@ from repro.analysis import sanitize as _sanitize
 from repro.net.packet import MSS, Packet
 from repro.net.path import Path
 from repro.mptcp.receiver import MptcpReceiver
+from repro.perf import profiler as _profiler
 from repro.sim.engine import Simulator
 from repro.tcp.cc.base import CongestionController
 from repro.tcp.subflow import Subflow
@@ -261,7 +262,12 @@ class MptcpConnection:
                     if self.config.penalization_enabled and self.recv_window_limited():
                         self._opportunistic_retransmit()
                     break
-                subflow = self.scheduler.select(self)
+                if _profiler.PROFILER is None:
+                    subflow = self.scheduler.select(self)
+                else:
+                    subflow = _profiler.PROFILER.call(
+                        "scheduler.decision", self.scheduler.select, self
+                    )
                 if subflow is None:
                     self.scheduler_waits += 1
                     break
@@ -295,7 +301,13 @@ class MptcpConnection:
     # Client side (runs at the receiver host)
     # ------------------------------------------------------------------
     def _client_on_data(self, packet: Packet) -> None:
-        if not self.receiver.on_data(packet):
+        if _profiler.PROFILER is None:
+            absorbed = self.receiver.on_data(packet)
+        else:
+            absorbed = _profiler.PROFILER.call(
+                "receiver.reassembly", self.receiver.on_data, packet
+            )
+        if not absorbed:
             # Dropped for lack of receive-buffer space: stay silent so the
             # subflow-level RTO retransmits the segment once the window
             # reopens.  Acking it would discard the data permanently.
@@ -356,7 +368,12 @@ class MptcpConnection:
             # the kernel), so path policy is preserved -- a primary-only
             # policy never spills onto the secondary, and a waiting ECF
             # defers the reinjection like any other segment.
-            target = self.scheduler.select(self)
+            if _profiler.PROFILER is None:
+                target = self.scheduler.select(self)
+            else:
+                target = _profiler.PROFILER.call(
+                    "scheduler.decision", self.scheduler.select, self
+                )
             if target is None or target.sf_id == owner_id or not target.can_send():
                 return
             self._rto_reinject_queue.popleft()

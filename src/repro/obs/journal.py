@@ -31,6 +31,16 @@ The file is append-opened per record (no handle to leak across the
 executor's lifetime) and is safe to tail while a sweep runs.  Load one
 back with :func:`read_journal`; :func:`summarize` folds the records into
 a per-status accounting for quick triage.
+
+Long-running campaigns (``campaign serve`` drains for days) would grow
+the JSONL without bound, so the journal supports **rotation**: give the
+constructor ``max_bytes`` and/or ``max_age_s`` and, when the active file
+exceeds either limit, it is atomically renamed to ``<path>.1`` (replacing
+the previous generation, which bounds total disk at roughly twice the
+size limit) and a fresh active file is seeded with the last
+``retain_tail`` records -- the retained-tail guarantee: the most recent
+records stay greppable at ``path`` across every rotation, so ``status``
+and ``watch`` never see an empty window right after a roll.
 """
 
 from __future__ import annotations
@@ -38,10 +48,15 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: Record types this schema revision understands (newer writers may add
+#: more; :func:`summarize` skips those with a single warning).
+KNOWN_RECORD_TYPES = frozenset({"batch_start", "job", "retry", "batch_end"})
 
 
 class RunJournal:
@@ -52,17 +67,37 @@ class RunJournal:
     records against their campaign without the executor knowing the
     store exists; observer failures propagate (a campaign that cannot
     index its journal should say so loudly, not drop records silently).
+
+    ``max_bytes`` / ``max_age_s`` bound the active file (see the module
+    docstring); ``retain_tail`` is how many of the newest records survive
+    into the fresh file on rotation.  With both limits ``None`` (the
+    default) the journal is append-only forever, exactly as before.
     """
 
     def __init__(
         self,
         path: PathLike,
         observer: Optional[Callable[[Dict[str, Any]], None]] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        retain_tail: int = 256,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.observer = observer
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
+        self.retain_tail = max(0, int(retain_tail))
         self._seq = 0
+        # Wall timestamp of the active file's first record; lazily read
+        # back from disk when resuming an existing file.
+        self._first_wall: Optional[float] = None
+
+    @property
+    def rotated_path(self) -> Path:
+        """Where the previous generation lands on rotation."""
+        return self.path.with_name(self.path.name + ".1")
 
     def record(self, record_type: str, **fields: Any) -> Dict[str, Any]:
         """Append one record; returns the dict that was written."""
@@ -77,9 +112,72 @@ class RunJournal:
         entry.update(fields)
         with self.path.open("a") as handle:
             handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        if self._first_wall is None:
+            self._first_wall = float(entry["wall"])
+        self._maybe_rotate(float(entry["wall"]))
         if self.observer is not None:
             self.observer(entry)
         return entry
+
+    def _read_first_wall(self) -> Optional[float]:
+        try:
+            with self.path.open() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    wall = json.loads(line).get("wall")
+                    return float(wall) if wall is not None else None
+        except (OSError, ValueError):
+            return None
+        return None
+
+    def _maybe_rotate(self, now: float) -> None:
+        if self.max_bytes is None and self.max_age_s is None:
+            return
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        over_size = self.max_bytes is not None and size > self.max_bytes
+        over_age = False
+        if self.max_age_s is not None and not over_size:
+            if self._first_wall is None:
+                self._first_wall = self._read_first_wall()
+            over_age = (
+                self._first_wall is not None
+                and now - self._first_wall > self.max_age_s
+            )
+        if over_size or over_age:
+            self.rotate()
+
+    def rotate(self) -> None:
+        """Roll the active file to ``.1``, keeping the newest records.
+
+        The rename is atomic (``os.replace``); the fresh active file is
+        seeded with the last ``retain_tail`` lines of the old one, so a
+        reader of ``self.path`` always sees the recent history.
+        """
+        try:
+            lines = [
+                line
+                for line in self.path.read_text().splitlines()
+                if line.strip()
+            ]
+        except OSError:
+            return
+        os.replace(self.path, self.rotated_path)
+        tail = lines[-self.retain_tail:] if self.retain_tail else []
+        with self.path.open("w") as handle:
+            for line in tail:
+                handle.write(line + "\n")
+        self._first_wall = None
+        if tail:
+            try:
+                wall = json.loads(tail[0]).get("wall")
+                self._first_wall = float(wall) if wall is not None else None
+            except (ValueError, TypeError):
+                self._first_wall = None
 
     # -- typed conveniences (thin wrappers; schema lives in the docstring)
     def batch_start(self, **fields: Any) -> Dict[str, Any]:
@@ -113,13 +211,22 @@ def summarize(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Fold journal records into a quick-triage accounting.
 
     Returns counts per job status, total retries, and the spec hashes of
-    failed jobs with their postmortem paths (when present).
+    failed jobs with their postmortem paths (when present).  Records with
+    a ``record`` type this schema revision does not know (a journal
+    written by a newer version) are skipped and counted under
+    ``"skipped"``, with a single :class:`FutureWarning` naming the
+    unknown types -- old readers stay usable against new journals.
     """
     statuses: Dict[str, int] = {}
     retries = 0
     failures: List[Dict[str, Any]] = []
+    unknown: Dict[str, int] = {}
     for entry in records:
         kind = entry.get("record")
+        if kind not in KNOWN_RECORD_TYPES:
+            key = str(kind)
+            unknown[key] = unknown.get(key, 0) + 1
+            continue
         if kind == "job":
             status = str(entry.get("status", "unknown"))
             statuses[status] = statuses.get(status, 0) + 1
@@ -133,4 +240,17 @@ def summarize(records: List[Dict[str, Any]]) -> Dict[str, Any]:
                 )
         elif kind == "retry":
             retries += 1
-    return {"statuses": statuses, "retries": retries, "failures": failures}
+    if unknown:
+        warnings.warn(
+            "journal has record type(s) this reader does not know "
+            f"(newer schema?): {sorted(unknown)} -- skipped "
+            f"{sum(unknown.values())} record(s)",
+            FutureWarning,
+            stacklevel=2,
+        )
+    return {
+        "statuses": statuses,
+        "retries": retries,
+        "failures": failures,
+        "skipped": sum(unknown.values()),
+    }

@@ -479,23 +479,33 @@ def to_jsonl(events: Iterable[_events.Event]) -> str:
 def prometheus_text(
     counters: Mapping[str, Any], prefix: str = "repro_"
 ) -> str:
-    """Perf counters in Prometheus text exposition format.
+    """Perf counters as a valid OpenMetrics text exposition.
 
     Accepts any flat name->number mapping -- typically
-    ``PerfSnapshot.to_dict()`` or a bundle's ``perf.json``; non-numeric
-    and non-finite entries are skipped.
+    ``PerfSnapshot.to_dict()`` or a bundle's ``perf.json``; non-numeric,
+    non-finite, and negative entries are skipped (counters cannot
+    decrease).
+
+    The rendering routes through the :mod:`repro.obs.metrics` registry,
+    so the output is the same dialect the ``campaign serve`` daemon
+    scrapes: ``# TYPE``/``# HELP`` metadata per family,
+    ``_total``-suffixed counter samples, and the mandatory ``# EOF``
+    terminator.  ``repro.cli metrics validate`` accepts it.
     """
-    lines: List[str] = []
+    from repro.obs import metrics as _metrics
+
+    registry = _metrics.MetricRegistry()
     for name in sorted(counters):
         value = counters[name]
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
-        if not math.isfinite(value):
+        if not math.isfinite(value) or value < 0:
             continue
-        metric = prefix + name
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    return "\n".join(lines) + ("\n" if lines else "")
+        registry.counter(
+            prefix + name,
+            f"Perf counter {name} from the run's perf record.",
+        ).inc(value)
+    return _metrics.render_openmetrics(registry)
 
 
 # ----------------------------------------------------------------------

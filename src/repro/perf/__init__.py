@@ -1,13 +1,16 @@
 """Hot-path performance layer: deterministic counters and the bench matrix.
 
 :mod:`repro.perf.counters` aggregates per-run event/packet/decision
-counters at zero hot-path cost; :mod:`repro.perf.bench` runs the pinned
-workload matrix behind ``python -m repro.cli bench`` and emits the
-machine-readable ``BENCH_<rev>.json`` perf trajectory.
+counters at zero hot-path cost; :mod:`repro.perf.profiler` attributes
+host wall time to simulation components (collapsed-stack/flamegraph
+output, registry histograms) behind the same pointer-test idiom; and
+:mod:`repro.perf.bench` runs the pinned workload matrix behind ``python
+-m repro.cli bench`` and emits the machine-readable ``BENCH_<rev>.json``
+perf trajectory.
 
-Only the counter layer is imported eagerly -- the bench harness pulls in
-every workload module, and protocol layers importing ``repro.perf``
-must stay cycle-free.
+Only the counter and profiler layers are imported eagerly -- the bench
+harness pulls in every workload module, and protocol layers importing
+``repro.perf`` must stay cycle-free.
 """
 
 from repro.perf.counters import (
@@ -19,17 +22,26 @@ from repro.perf.counters import (
     measure,
     perf_enabled,
 )
+from repro.perf.profiler import (
+    SimProfiler,
+    profile_enabled,
+    profiling,
+)
 
-# NOTE: the live ``COLLECTOR`` global is deliberately not re-exported --
-# a ``from repro.perf import COLLECTOR`` would freeze the binding at
-# import time.  Read it as ``counters.COLLECTOR`` (hook sites do).
+# NOTE: the live ``COLLECTOR`` / ``PROFILER`` globals are deliberately
+# not re-exported -- a ``from repro.perf import COLLECTOR`` would freeze
+# the binding at import time.  Read them as ``counters.COLLECTOR`` /
+# ``profiler.PROFILER`` (hook sites do).
 
 __all__ = [
     "ENV_VAR",
     "PerfCollector",
     "PerfRecord",
     "PerfSnapshot",
+    "SimProfiler",
     "collecting",
     "measure",
     "perf_enabled",
+    "profile_enabled",
+    "profiling",
 ]

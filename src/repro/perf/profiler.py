@@ -1,0 +1,308 @@
+"""Deterministic sim-profiler: per-component wall-time attribution.
+
+The "next 10x" engine-speed item needs a *map* -- raw counters say how
+many events ran, not where the wall time went.  This module attributes
+host wall time to simulation components (engine dispatch, link delivery,
+subflow processing, receiver reassembly, scheduler decisions, congestion
+control updates, application callbacks) without perturbing the
+simulation in any way:
+
+* **Zero-cost when off.**  Every hook site reads the module-global
+  :data:`PROFILER` and tests it against ``None`` -- the same
+  construction-time/pointer-test idiom the perf counters
+  (:data:`repro.perf.counters.COLLECTOR`), the sanitizer, and the flight
+  recorder use.  With the profiler off, the engine keeps its hooks-off
+  fast path; the six golden digests are pinned by
+  ``tests/test_perf.py`` and must not move.
+* **Byte-identity safe when on.**  The profiler only *reads* the host
+  clock around dispatches; it never touches simulated time, event order,
+  or protocol state, so results (and digests) are identical with it on
+  or off.  Event/call *counts* in its report are deterministic; only the
+  wall-second figures are host-dependent.
+
+Attribution model: the engine brackets every dispatched callback with
+:meth:`SimProfiler.begin_event` / :meth:`SimProfiler.end_event`; the
+callback's owner class decides the component (``repro.net.link`` ->
+``link.delivery`` and so on).  Finer-grained hot spots that are *calls
+inside* an event -- scheduler decisions, cc updates, receiver
+reassembly -- are timed at their call sites via
+:meth:`SimProfiler.call`, which nests them under the enclosing
+component so the collapsed-stack output reads like a flamegraph::
+
+    engine;link.delivery 41230
+    engine;link.delivery;mptcp.receiver.reassembly 8120
+    engine;tcp.subflow;scheduler.decision 20050
+
+(weights are integer microseconds; feed the text straight to any
+FlameGraph renderer).  :meth:`SimProfiler.publish` folds the same data
+into the :mod:`repro.obs.metrics` registry histograms.
+
+Enable with ``REPRO_PROFILE=1`` (honored by the CLI), the
+:func:`profiling` context manager, or ``python -m repro.cli bench
+--profile out.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
+
+#: Environment toggle (mirrors ``REPRO_PERF`` / ``REPRO_OBS``).
+ENV_VAR = "REPRO_PROFILE"
+
+#: Log-spaced per-dispatch buckets, seconds (1us..1s + overflow slot).
+#: Kept numerically identical to
+#: ``repro.obs.metrics.DEFAULT_SECONDS_BUCKETS`` so :meth:`publish` can
+#: fold pre-aggregated counts without resampling.
+BUCKET_BOUNDS: Tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+#: Owner-module prefix -> component name, longest prefix wins.
+_COMPONENT_BY_MODULE: Tuple[Tuple[str, str], ...] = (
+    ("repro.net.link", "link.delivery"),
+    ("repro.net", "net.other"),
+    ("repro.tcp", "tcp.subflow"),
+    ("repro.mptcp.receiver", "mptcp.receiver"),
+    ("repro.mptcp", "mptcp.connection"),
+    ("repro.apps", "app"),
+    ("repro.sim", "engine.timer"),
+)
+
+_T = TypeVar("_T")
+
+
+def profile_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` requests profiling."""
+    return os.environ.get(ENV_VAR, "").strip() not in ("", "0", "false", "no")
+
+
+class SimProfiler:
+    """Accumulates wall time per component and per nested hot-spot.
+
+    One instance is meant to span any number of runs (a whole bench
+    workload, a whole campaign job); :meth:`report`, :meth:`collapsed`
+    and :meth:`publish` read out the totals.
+    """
+
+    def __init__(self) -> None:
+        # component -> [calls, wall_seconds]
+        self._components: Dict[str, List[float]] = {}
+        # (component, hook) and ("engine",) style paths -> [calls, wall]
+        self._paths: Dict[Tuple[str, ...], List[float]] = {}
+        # component -> per-bucket dispatch counts (+ overflow slot)
+        self._buckets: Dict[str, List[int]] = {}
+        # classification cache: (owner type | bare callable) -> component
+        self._classify_cache: Dict[Any, str] = {}
+        # Currently dispatching component ("" between events).
+        self._current: str = ""
+        self._event_t0: float = 0.0
+        self._event_wall: float = 0.0  # accumulated, across all events
+        self._runs: int = 0
+        self._run_wall: float = 0.0
+        self._sims_adopted: int = 0
+
+    # -- adoption (construction-time, engine __init__) ------------------
+    def adopt_sim(self, sim: Any) -> None:
+        """Note a simulator built while profiling (count only; the
+        engine's ``run()`` does the actual bracketing)."""
+        self._sims_adopted += 1
+
+    # -- engine dispatch bracketing -------------------------------------
+    def classify(self, callback: Callable[..., Any]) -> str:
+        """Component owning a timer callback, by its bound owner's module."""
+        owner = getattr(callback, "__self__", None)
+        key: Any = type(owner) if owner is not None else callback
+        cached = self._classify_cache.get(key)
+        if cached is not None:
+            return cached
+        module = (
+            type(owner).__module__ if owner is not None
+            else getattr(callback, "__module__", "") or ""
+        )
+        component = "other"
+        best = -1
+        for prefix, name in _COMPONENT_BY_MODULE:
+            if module.startswith(prefix) and len(prefix) > best:
+                component = name
+                best = len(prefix)
+        self._classify_cache[key] = component
+        return component
+
+    def begin_event(self, callback: Callable[..., Any]) -> None:
+        self._current = self.classify(callback)
+        # Host-side attribution of host wall time; never simulated state.
+        self._event_t0 = time.perf_counter()  # repro: noqa[RPR101]
+
+    def end_event(self) -> None:
+        dt = time.perf_counter() - self._event_t0  # repro: noqa[RPR101]
+        component = self._current
+        self._current = ""
+        self._event_wall += dt
+        slot = self._components.get(component)
+        if slot is None:
+            slot = self._components[component] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += dt
+        buckets = self._buckets.get(component)
+        if buckets is None:
+            buckets = self._buckets[component] = [0] * (len(BUCKET_BOUNDS) + 1)
+        index = 0
+        for bound in BUCKET_BOUNDS:
+            if dt <= bound:
+                break
+            index += 1
+        buckets[index] += 1
+        path = ("engine", component)
+        pslot = self._paths.get(path)
+        if pslot is None:
+            pslot = self._paths[path] = [0, 0.0]
+        pslot[0] += 1
+        pslot[1] += dt
+
+    # -- nested hot-spot hooks ------------------------------------------
+    def call(self, name: str, fn: Callable[..., _T], *args: Any) -> _T:
+        """Time ``fn(*args)`` as hot-spot ``name`` nested under the
+        component currently dispatching (call sites guard with
+        ``PROFILER is not None``, so this never runs when off)."""
+        t0 = time.perf_counter()  # repro: noqa[RPR101]
+        try:
+            return fn(*args)
+        finally:
+            dt = time.perf_counter() - t0  # repro: noqa[RPR101]
+            parent = self._current or "outside"
+            path = ("engine", parent, name) if parent != "outside" else (
+                "outside", name,
+            )
+            slot = self._paths.get(path)
+            if slot is None:
+                slot = self._paths[path] = [0, 0.0]
+            slot[0] += 1
+            slot[1] += dt
+
+    # -- run bracketing --------------------------------------------------
+    def run_started(self) -> Tuple[float, float]:
+        return (
+            time.perf_counter(),  # repro: noqa[RPR101]
+            self._event_wall,
+        )
+
+    def run_finished(self, token: Tuple[float, float]) -> None:
+        t0, event_wall_before = token
+        total = time.perf_counter() - t0  # repro: noqa[RPR101]
+        inside_events = self._event_wall - event_wall_before
+        overhead = max(0.0, total - inside_events)
+        self._runs += 1
+        self._run_wall += total
+        slot = self._components.get("engine.dispatch")
+        if slot is None:
+            slot = self._components["engine.dispatch"] = [0, 0.0]
+        slot[0] += 1
+        slot[1] += overhead
+        path = ("engine", "engine.dispatch")
+        pslot = self._paths.get(path)
+        if pslot is None:
+            pslot = self._paths[path] = [0, 0.0]
+        pslot[0] += 1
+        pslot[1] += overhead
+
+    # -- read-out ---------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """Structured totals: per-component and per-nested-path."""
+        components = {
+            name: {"calls": int(calls), "wall_s": wall}
+            for name, (calls, wall) in sorted(self._components.items())
+        }
+        hot_spots = {
+            ";".join(path): {"calls": int(calls), "wall_s": wall}
+            for path, (calls, wall) in sorted(self._paths.items())
+            if len(path) > 2 or path[0] == "outside"
+        }
+        return {
+            "runs": self._runs,
+            "run_wall_s": self._run_wall,
+            "sims_adopted": self._sims_adopted,
+            "components": components,
+            "hot_spots": hot_spots,
+        }
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (``frame;frame weight`` per line, weight
+        in integer microseconds) -- FlameGraph-renderer ready.
+
+        Nested hot-spot time is subtracted from its parent frame so the
+        flamegraph's self-time semantics hold (children never double
+        count against their parent).
+        """
+        child_wall: Dict[Tuple[str, ...], float] = {}
+        for path, (_calls, wall) in self._paths.items():
+            if len(path) > 2:
+                parent = path[:2]
+                child_wall[parent] = child_wall.get(parent, 0.0) + wall
+        lines = []
+        for path, (_calls, wall) in sorted(self._paths.items()):
+            self_wall = wall - child_wall.get(path, 0.0)
+            usec = int(round(max(0.0, self_wall) * 1e6))
+            if usec > 0:
+                lines.append(f"{';'.join(path)} {usec}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def publish(self, registry: Any, campaign: str = "") -> None:
+        """Fold totals into a :class:`repro.obs.metrics.MetricRegistry`."""
+        from repro.obs import metrics as _metrics
+
+        calls = registry.counter(
+            "repro_profile_component_calls",
+            _metrics.CATALOG["repro_profile_component_calls"][1],
+            ("component",),
+        )
+        wall = registry.counter(
+            "repro_profile_component_wall_seconds",
+            _metrics.CATALOG["repro_profile_component_wall_seconds"][1],
+            ("component",),
+        )
+        for name, (n, seconds) in sorted(self._components.items()):
+            if n:
+                calls.inc(n, component=name)
+            if seconds > 0:
+                wall.inc(seconds, component=name)
+        histogram = registry.histogram(
+            "repro_profile_event_seconds",
+            _metrics.CATALOG["repro_profile_event_seconds"][1],
+            ("component",),
+            buckets=BUCKET_BOUNDS,
+        )
+        for name, bucket_counts in sorted(self._buckets.items()):
+            total_wall = self._components.get(name, [0, 0.0])[1]
+            histogram.merge_counts(bucket_counts, total_wall, component=name)
+
+
+#: The live profiler, or ``None`` (the overwhelmingly common case).
+#: Hook sites read this through the module (``_profiler.PROFILER``) so
+#: rebinding is visible everywhere; one global load + ``is None`` test
+#: is the entire cost when off.
+PROFILER: Optional[SimProfiler] = None
+
+
+@contextmanager
+def profiling() -> Iterator[SimProfiler]:
+    """Install a fresh :class:`SimProfiler` for the body; restores the
+    previous global on exit (nesting replaces, it does not stack)."""
+    global PROFILER
+    previous = PROFILER
+    profiler = SimProfiler()
+    PROFILER = profiler
+    try:
+        yield profiler
+    finally:
+        PROFILER = previous
+
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "ENV_VAR",
+    "PROFILER",
+    "SimProfiler",
+    "profile_enabled",
+    "profiling",
+]

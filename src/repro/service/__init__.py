@@ -9,7 +9,10 @@ from a per-process pool into a campaign service:
 * :mod:`repro.service.backends` -- execution backends built config-first
   from frozen ``*BackendConfig`` dataclasses through ``build()``;
 * :mod:`repro.service.runner` -- the submit / drain / requeue / fetch
-  loop, also usable as an executor drop-in for the grid sweeps.
+  loop, also usable as an executor drop-in for the grid sweeps;
+* :mod:`repro.service.daemon` -- the long-lived ``campaign serve``
+  daemon: a drain loop plus an OpenMetrics/JSON scrape endpoint fed by
+  the :mod:`repro.obs.metrics` registry.
 
 See ``docs/api.md`` for the config-first idiom and
 ``repro.cli campaign`` for the command-line surface.
@@ -24,13 +27,21 @@ from repro.service.backends import (
     register_backend,
     registered_backend_kinds,
 )
+from repro.service.daemon import (
+    CampaignDaemon,
+    render_watch_line,
+    status_document,
+)
 from repro.service.runner import CampaignError, CampaignRunner
 from repro.service.store import CampaignRow, CampaignStore, JobRow, TransitionError
 
 __all__ = [
     "CampaignStore",
     "CampaignRunner",
+    "CampaignDaemon",
     "CampaignError",
+    "render_watch_line",
+    "status_document",
     "CampaignRow",
     "JobRow",
     "TransitionError",

@@ -33,7 +33,7 @@ resume did not re-simulate).
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.exec import FailedRun, JobOutcome, ResultCache
 from repro.experiments.spec import result_from_dict, spec_from_dict, spec_hash
@@ -65,6 +65,17 @@ class CampaignRunner:
         into the store, so ``status`` can count cache hits per drain.
     max_attempts: per-job attempt budget enforced by ``requeue``.
     progress: forwarded to the executor (``True`` for the stderr ticker).
+    journal_kwargs: extra :class:`~repro.obs.journal.RunJournal`
+        constructor options (``max_bytes`` / ``max_age_s`` /
+        ``retain_tail``) -- the daemon uses this to bound the journal
+        for days-long drains.
+    journal_observer: additional callable invoked with every journal
+        record (after the store indexes it); the telemetry registry
+        hangs off this.
+    on_outcome: additional callable invoked with every
+        :class:`~repro.experiments.exec.JobOutcome` after the store's
+        state machine is updated -- carries the per-job perf record
+        (when ``REPRO_PERF`` is on) to the metrics layer.
     """
 
     def __init__(
@@ -76,6 +87,9 @@ class CampaignRunner:
         journal: Optional[PathLike] = None,
         max_attempts: int = 3,
         progress: Any = None,
+        journal_kwargs: Optional[Dict[str, Any]] = None,
+        journal_observer: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_outcome: Optional[Callable[[JobOutcome], None]] = None,
     ) -> None:
         if cache_dir is None:
             raise ValueError(
@@ -88,6 +102,9 @@ class CampaignRunner:
         self.journal_path = None if journal is None else str(journal)
         self.max_attempts = int(max_attempts)
         self.progress = progress
+        self.journal_kwargs = dict(journal_kwargs or {})
+        self.journal_observer = journal_observer
+        self.on_outcome = on_outcome
 
         existing = store.campaign(name)
         if backend is None:
@@ -155,14 +172,20 @@ class CampaignRunner:
                         result_path=str(cache.path_for(outcome.spec_hash)),
                         wall_s=outcome.wall_s,
                     )
+                if self.on_outcome is not None:
+                    self.on_outcome(outcome)
+
+            def observe(entry: Dict[str, Any]) -> None:
+                self.store.record_journal(self.campaign_id, entry)
+                if self.journal_observer is not None:
+                    self.journal_observer(entry)
 
             journal: Optional[RunJournal] = None
             if self.journal_path is not None:
                 journal = RunJournal(
                     self.journal_path,
-                    observer=lambda entry: self.store.record_journal(
-                        self.campaign_id, entry
-                    ),
+                    observer=observe,
+                    **self.journal_kwargs,
                 )
             backend = _backends.build(self.backend_config)
             backend.run(

@@ -43,7 +43,17 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.spec import canonical_json, spec_hash, spec_to_dict
 
@@ -169,6 +179,13 @@ class CampaignStore:
         self._conn.execute("PRAGMA busy_timeout = 5000")
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        #: Optional observer called as ``(campaign_id, spec_hash,
+        #: old_status, new_status)`` after every committed state-machine
+        #: transition (including :meth:`claim` wins).  The telemetry
+        #: registry counts transitions through this without the store
+        #: knowing metrics exist.  Failures propagate, mirroring the
+        #: journal-observer contract.
+        self.on_transition: Optional[Callable[[int, str, str, str], None]] = None
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
@@ -329,6 +346,8 @@ class CampaignStore:
             values,
         )
         self._conn.commit()
+        if self.on_transition is not None:
+            self.on_transition(campaign_id, key, current, new_status)
 
     def claim(self, campaign_id: int, key: str) -> bool:
         """Atomically take a pending job for execution.
@@ -350,6 +369,8 @@ class CampaignStore:
         )
         self._conn.commit()
         if cursor.rowcount > 0:
+            if self.on_transition is not None:
+                self.on_transition(campaign_id, key, PENDING, RUNNING)
             return True
         if self.job(campaign_id, key) is None:
             raise KeyError(f"no job {key!r} in campaign {campaign_id}")

@@ -28,6 +28,7 @@ from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
 from repro.obs import flight as _flight
 from repro.perf import counters as _perf
+from repro.perf import profiler as _profiler
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -206,6 +207,8 @@ class Simulator:
             _perf.COLLECTOR.adopt_sim(self)
         if _flight.COLLECTOR is not None:
             _flight.COLLECTOR.adopt_sim(self)
+        if _profiler.PROFILER is not None:
+            _profiler.PROFILER.adopt_sim(self)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -308,14 +311,18 @@ class Simulator:
         log = _events.LOG
         if log is not None and not log.capture_dispatch:
             log = None
+        profiler = _profiler.PROFILER
         # Normalized stop conditions: one float compare and one int
         # compare per event instead of two None tests.  Counting up by one
         # from zero makes ``executed == budget`` equivalent to the
         # ``executed >= max_events`` it replaces.
         limit = float("inf") if until is None else until
         budget = -1 if max_events is None else max_events
+        run_token: Optional[Tuple[float, float]] = None
+        if profiler is not None:
+            run_token = profiler.run_started()
         try:
-            if checks is None and log is None:
+            if checks is None and log is None and profiler is None:
                 # Fast path: the common (hooks-off) per-packet loop.  Kept
                 # branch-identical to the instrumented loop below -- any
                 # semantic edit must be applied to both.
@@ -354,11 +361,20 @@ class Simulator:
                         log.emit(_events.Dispatch(t=time, seq=timer.seq))
                     self.now = time
                     timer.cancelled = True  # consumed; cancel() after firing is a no-op
-                    timer.callback(*timer.args)
+                    if profiler is not None:
+                        profiler.begin_event(timer.callback)
+                        try:
+                            timer.callback(*timer.args)
+                        finally:
+                            profiler.end_event()
+                    else:
+                        timer.callback(*timer.args)
                     executed += 1
         finally:
             self._running = False
             self._events_processed += executed
+            if profiler is not None and run_token is not None:
+                profiler.run_finished(run_token)
         if until is not None and self.now < until:
             # Fast-forward only when nothing is pending at or before
             # ``until``: a budget-stopped run must not leave events in the

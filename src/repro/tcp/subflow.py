@@ -29,6 +29,7 @@ from repro.analysis import events as _events
 from repro.analysis import sanitize as _sanitize
 from repro.net.packet import ACK_SIZE, HEADER_SIZE, MSS, Packet
 from repro.net.path import Path
+from repro.perf import profiler as _profiler
 from repro.sim.engine import Simulator, Timer
 from repro.tcp.rtt import RttEstimator
 
@@ -405,7 +406,10 @@ class Subflow:
         if self._in_recovery and self.una > self._recovery_point:
             self._in_recovery = False
         if not self._in_recovery:
-            self.cc.on_ack(self, 1)
+            if _profiler.PROFILER is None:
+                self.cc.on_ack(self, 1)
+            else:
+                _profiler.PROFILER.call("cc.update", self.cc.on_ack, self, 1)
         self._detect_losses()
         self._service_retransmissions()
         self._arm_rto()
@@ -461,7 +465,10 @@ class Subflow:
             self._recovery_point = self.next_seq - 1
             self.stats.fast_retransmits += 1
             self.stats.bytes_since_loss = 0
-            self.cc.on_loss(self)
+            if _profiler.PROFILER is None:
+                self.cc.on_loss(self)
+            else:
+                _profiler.PROFILER.call("cc.update", self.cc.on_loss, self)
             if _events.LOG is not None:
                 _events.LOG.emit(_events.FastRetransmit(
                     t=self.sim.now,
@@ -516,7 +523,10 @@ class Subflow:
                 rto=self.rtt.rto,
                 outstanding=len(self._outstanding),
             ))
-        self.cc.on_rto(self)
+        if _profiler.PROFILER is None:
+            self.cc.on_rto(self)
+        else:
+            _profiler.PROFILER.call("cc.update", self.cc.on_rto, self)
         self._in_recovery = True
         self._recovery_point = self.next_seq - 1
         # Everything unacked goes back to the retransmission queue in

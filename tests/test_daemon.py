@@ -1,0 +1,418 @@
+"""Tests for the campaign daemon (repro.service.daemon) and the
+executor -> store -> registry telemetry plumbing it rides on."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.apps.bulk import BulkDownloadSpec
+from repro.net.profiles import lte_config, wifi_config
+from repro.obs.metrics import (
+    default_registry,
+    publish_perf_counters,
+    validate_openmetrics,
+)
+from repro.service import (
+    CampaignRunner,
+    CampaignStore,
+    InlineBackendConfig,
+    PoolBackendConfig,
+)
+from repro.service.daemon import (
+    CampaignDaemon,
+    fetch_metrics,
+    fetch_status,
+    render_watch_line,
+    status_document,
+)
+
+
+def bulk_specs(n=3, size=48 * 1024):
+    return [
+        BulkDownloadSpec(
+            scheduler="ecf",
+            path_configs=(wifi_config(2.0), lte_config(float(2 + i))),
+            size=size,
+            seed=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestStatusDocument:
+    def test_unknown_campaign_raises(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            with pytest.raises(KeyError):
+                status_document(store, "nope")
+
+    def test_counts_and_shape(self, tmp_path):
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(
+                store, "doc", cache_dir=tmp_path / "cache",
+                journal=tmp_path / "j.jsonl",
+            )
+            runner.submit(bulk_specs(2))
+            doc = status_document(store, "doc")
+            assert doc["campaign"] == "doc"
+            assert doc["total"] == 2
+            assert doc["remaining"] == 2
+            assert doc["counts"]["pending"] == 2
+            assert doc["done_fraction"] == 0.0
+            runner.drain()
+            doc = status_document(store, "doc")
+            assert doc["counts"]["done"] == 2
+            assert doc["remaining"] == 0
+            assert doc["done_fraction"] == 1.0
+            assert doc["journal_jobs"] == {"executed": 2}
+            assert doc["cache_hit_rate"] == 0.0
+
+    def test_cache_hits_reflected(self, tmp_path):
+        specs = bulk_specs(2)
+        with CampaignStore(tmp_path / "c.db") as store:
+            runner = CampaignRunner(
+                store, "doc", cache_dir=tmp_path / "cache",
+                journal=tmp_path / "j.jsonl",
+            )
+            runner.submit(specs)
+            runner.drain()
+        # A fresh campaign over the same cache resolves every job as a
+        # cache hit and journals it as "cached".
+        with CampaignStore(tmp_path / "c.db") as store:
+            fresh = CampaignRunner(
+                store, "doc2", cache_dir=tmp_path / "cache",
+                journal=tmp_path / "j2.jsonl",
+            )
+            fresh.submit(specs)
+            fresh.drain()
+            doc = status_document(store, "doc2")
+            assert doc["journal_jobs"] == {"cached": 2}
+            assert doc["cache_hit_rate"] == 1.0
+
+    def test_matches_cli_status_json(self, tmp_path):
+        from repro import cli
+
+        db = tmp_path / "c.db"
+        with CampaignStore(db) as store:
+            runner = CampaignRunner(
+                store, "cli-doc", cache_dir=tmp_path / "cache",
+                journal=tmp_path / "j.jsonl",
+            )
+            runner.submit(bulk_specs(1))
+            runner.drain()
+        rc = cli.main(["campaign", "status", "cli-doc", "--db", str(db),
+                       "--json"])
+        assert rc == 0
+
+
+class TestWatchLine:
+    def test_render(self):
+        doc = {
+            "campaign": "grid",
+            "counts": {"pending": 3, "running": 1, "done": 5, "failed": 0},
+            "cache_hit_rate": 0.4,
+            "events_per_s": 95000.0,
+            "eta_s": 12.0,
+            "remaining": 4,
+        }
+        line = render_watch_line(doc)
+        assert "[grid]" in line
+        assert "pending=3" in line
+        assert "done=5" in line
+        assert "cache-hits=40%" in line
+        assert "events=95k/s" in line
+        assert "eta=12s" in line
+
+    def test_render_tolerates_missing_fields(self):
+        line = render_watch_line({})
+        assert "pending=0" in line
+        assert "events=-" in line
+
+
+class TestDaemonServe:
+    def build(self, tmp_path, name="serve", n=3, **kwargs):
+        store = CampaignStore(tmp_path / "c.db")
+        runner = CampaignRunner(
+            store, name, cache_dir=tmp_path / "cache",
+            journal=tmp_path / "seed.jsonl",
+        )
+        runner.submit(bulk_specs(n))
+        daemon = CampaignDaemon(
+            store, name, cache_dir=str(tmp_path / "cache"),
+            journal=str(tmp_path / "daemon.jsonl"),
+            poll_interval_s=0.05, **kwargs,
+        )
+        return store, daemon
+
+    def test_serve_drains_and_gauges_match_ground_truth(self, tmp_path):
+        store, daemon = self.build(tmp_path)
+        try:
+            daemon.start_http()
+            doc = daemon.serve(max_loops=2)
+            assert doc["counts"] == {
+                "pending": 0, "running": 0, "done": 3, "failed": 0,
+            }
+            truth = store.counts(daemon.runner.campaign_id)
+            scrape = fetch_metrics(daemon.endpoint)
+            assert validate_openmetrics(scrape) == []
+            for status, count in truth.items():
+                needle = (
+                    f'repro_campaign_jobs{{campaign="serve",'
+                    f'status="{status}"}} {count}'
+                )
+                assert needle in scrape.splitlines(), needle
+        finally:
+            daemon.shutdown()
+
+    def test_status_endpoint_serves_the_document(self, tmp_path):
+        store, daemon = self.build(tmp_path, name="statusd", n=1)
+        try:
+            daemon.start_http()
+            daemon.serve(max_loops=1)
+            doc = fetch_status(daemon.endpoint)
+            assert doc["campaign"] == "statusd"
+            assert doc["counts"]["done"] == 1
+            truth = status_document(store, "statusd")
+            assert doc["counts"] == truth["counts"]
+        finally:
+            daemon.shutdown()
+
+    def test_healthz_and_404(self, tmp_path):
+        store, daemon = self.build(tmp_path, name="health", n=1)
+        try:
+            daemon.start_http()
+            body = urllib.request.urlopen(
+                daemon.endpoint + "/healthz", timeout=5
+            ).read()
+            assert body == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    daemon.endpoint + "/does-not-exist", timeout=5
+                )
+            assert excinfo.value.code == 404
+        finally:
+            daemon.shutdown()
+
+    def test_kill_and_resume_reaches_ground_truth(self, tmp_path):
+        # First daemon "dies" after a partial drain (simulated by a
+        # limited drain through its runner, then shutdown without
+        # finishing); a second daemon resumes and finishes.
+        store, first = self.build(tmp_path, name="resume", n=3)
+        try:
+            first.runner.drain(limit=1)
+        finally:
+            first.shutdown()
+        counts = store.counts(first.runner.campaign_id)
+        assert counts["done"] == 1
+        assert counts["pending"] == 2
+
+        second = CampaignDaemon(
+            store, "resume", cache_dir=str(tmp_path / "cache"),
+            journal=str(tmp_path / "daemon2.jsonl"), poll_interval_s=0.05,
+        )
+        try:
+            second.start_http()
+            doc = second.serve(max_loops=2)
+            assert doc["counts"]["done"] == 3
+            scrape = fetch_metrics(second.endpoint)
+            assert validate_openmetrics(scrape) == []
+            assert (
+                'repro_campaign_jobs{campaign="resume",status="done"} 3'
+                in scrape.splitlines()
+            )
+            assert (
+                'repro_campaign_jobs{campaign="resume",status="pending"} 0'
+                in scrape.splitlines()
+            )
+        finally:
+            second.shutdown()
+
+    def test_serve_counts_loops_and_scrapes(self, tmp_path):
+        store, daemon = self.build(tmp_path, name="loops", n=1)
+        try:
+            daemon.start_http()
+            daemon.serve(max_loops=2)
+            fetch_metrics(daemon.endpoint)
+            scrape = fetch_metrics(daemon.endpoint)
+            lines = scrape.splitlines()
+            assert 'repro_serve_loops_total{campaign="loops"} 2' in lines
+            # The second scrape sees the first one counted.
+            assert any(
+                line.startswith("repro_serve_scrapes_total ")
+                and float(line.split(" ")[1]) >= 1
+                for line in lines
+            )
+        finally:
+            daemon.shutdown()
+
+    def test_journal_rotation_bounds_daemon_journal(self, tmp_path):
+        store, daemon = self.build(
+            tmp_path, name="rotate", n=2,
+            journal_max_bytes=512, journal_retain_tail=4,
+        )
+        try:
+            daemon.serve(max_loops=1)
+        finally:
+            daemon.shutdown()
+        journal_path = tmp_path / "daemon.jsonl"
+        assert journal_path.stat().st_size <= 4096
+
+    def test_transitions_counted(self, tmp_path):
+        store, daemon = self.build(tmp_path, name="edges", n=2)
+        try:
+            daemon.serve(max_loops=1)
+            rendered = daemon.registry.get(
+                "repro_campaign_transitions"
+            )
+            assert rendered.value(
+                campaign="edges", from_status="pending", to_status="running"
+            ) == 2
+            assert rendered.value(
+                campaign="edges", from_status="running", to_status="done"
+            ) == 2
+        finally:
+            daemon.shutdown()
+
+    def test_shutdown_unhooks_store(self, tmp_path):
+        store, daemon = self.build(tmp_path, name="unhook", n=1)
+        assert store.on_transition is not None
+        daemon.shutdown()
+        assert store.on_transition is None
+
+
+class TestPerfAcrossPoolBackend:
+    """Satellite: worker perf counters survive the process-pool wire
+    format and sum correctly in the registry."""
+
+    def drain_with_backend(self, tmp_path, backend, name, monkeypatch):
+        from repro.perf import counters as perf_counters
+
+        monkeypatch.setenv(perf_counters.ENV_VAR, "1")
+        outcomes = []
+        with CampaignStore(tmp_path / f"{name}.db") as store:
+            runner = CampaignRunner(
+                store, name, backend=backend,
+                cache_dir=tmp_path / f"{name}-cache",
+                journal=tmp_path / f"{name}.jsonl",
+                on_outcome=outcomes.append,
+            )
+            runner.submit(bulk_specs(3))
+            counts = runner.drain()
+        assert counts["done"] == 3
+        return outcomes
+
+    def test_pool_outcomes_carry_perf_records(self, tmp_path, monkeypatch):
+        outcomes = self.drain_with_backend(
+            tmp_path, PoolBackendConfig(jobs=2), "pool", monkeypatch
+        )
+        executed = [o for o in outcomes if o.status == "executed"]
+        assert len(executed) == 3
+        for outcome in executed:
+            assert isinstance(outcome.perf, dict)
+            assert outcome.perf["counters"]["events_dispatched"] > 0
+            assert outcome.perf["wall_s"] > 0
+
+    def test_pool_counters_sum_in_registry_like_inline(
+        self, tmp_path, monkeypatch
+    ):
+        pool = self.drain_with_backend(
+            tmp_path, PoolBackendConfig(jobs=2), "pool-sum", monkeypatch
+        )
+        inline = self.drain_with_backend(
+            tmp_path, InlineBackendConfig(), "inline-sum", monkeypatch
+        )
+
+        def registry_total(outcomes, campaign):
+            registry = default_registry()
+            for outcome in outcomes:
+                if outcome.perf:
+                    publish_perf_counters(
+                        registry, outcome.perf, campaign=campaign
+                    )
+            return registry.get("repro_perf_events_dispatched").value(
+                campaign=campaign
+            )
+
+        pool_total = registry_total(pool, "pool-sum")
+        inline_total = registry_total(inline, "inline-sum")
+        # Identical specs simulate identical event counts whichever side
+        # of the pool boundary the counters were collected on.
+        assert pool_total == inline_total
+        assert pool_total == sum(
+            o.perf["counters"]["events_dispatched"] for o in pool if o.perf
+        )
+
+    def test_cache_hits_have_no_perf_record(self, tmp_path, monkeypatch):
+        from repro.perf import counters as perf_counters
+
+        monkeypatch.setenv(perf_counters.ENV_VAR, "1")
+        specs = bulk_specs(2)
+        with CampaignStore(tmp_path / "c.db") as store:
+            first = CampaignRunner(
+                store, "warm", cache_dir=tmp_path / "cache",
+            )
+            first.submit(specs)
+            first.drain()
+            outcomes = []
+            second = CampaignRunner(
+                store, "hits", cache_dir=tmp_path / "cache",
+                on_outcome=outcomes.append,
+            )
+            second.submit(specs)
+            second.drain()
+        assert [o.status for o in outcomes] == ["cached", "cached"]
+        assert all(o.perf is None for o in outcomes)
+
+
+class TestDaemonEventsRate:
+    def test_events_per_second_gauge_set(self, tmp_path, monkeypatch):
+        from repro.perf import counters as perf_counters
+
+        monkeypatch.setenv(perf_counters.ENV_VAR, "1")
+        store = CampaignStore(tmp_path / "c.db")
+        CampaignRunner(
+            store, "rate", cache_dir=tmp_path / "cache",
+        ).submit(bulk_specs(2))
+        daemon = CampaignDaemon(
+            store, "rate", cache_dir=str(tmp_path / "cache"),
+            journal=str(tmp_path / "j.jsonl"), poll_interval_s=0.05,
+        )
+        try:
+            doc = daemon.serve(max_loops=1)
+            assert doc["counts"]["done"] == 2
+            gauge = daemon.registry.get("repro_serve_events_per_second")
+            assert gauge.value(campaign="rate") > 0
+            assert doc["events_per_s"] and doc["events_per_s"] > 0
+        finally:
+            daemon.shutdown()
+
+
+class TestMetricsValidateCli:
+    def test_validate_accepts_daemon_scrape(self, tmp_path, capsys):
+        from repro import cli
+
+        store = CampaignStore(tmp_path / "c.db")
+        CampaignRunner(
+            store, "v", cache_dir=tmp_path / "cache",
+        ).submit(bulk_specs(1))
+        daemon = CampaignDaemon(
+            store, "v", cache_dir=str(tmp_path / "cache"),
+            journal=str(tmp_path / "j.jsonl"), poll_interval_s=0.05,
+        )
+        try:
+            daemon.start_http()
+            daemon.serve(max_loops=1)
+            scrape_path = tmp_path / "scrape.txt"
+            scrape_path.write_text(fetch_metrics(daemon.endpoint))
+        finally:
+            daemon.shutdown()
+        assert cli.main(["metrics", "validate", str(scrape_path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid OpenMetrics exposition" in out
+
+    def test_validate_rejects_truncated_scrape(self, tmp_path, capsys):
+        from repro import cli
+
+        bad = tmp_path / "bad.txt"
+        bad.write_text("# TYPE x counter\nx_total 1\n")  # no EOF
+        assert cli.main(["metrics", "validate", str(bad)]) == 1

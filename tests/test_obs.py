@@ -317,6 +317,89 @@ class TestJournal:
             {"spec_hash": "ff", "error": {"type": "X"}, "postmortem": "/p"},
         ]
 
+    def test_summarize_skips_unknown_record_kinds(self):
+        # Forward compatibility: a newer writer may add record types this
+        # reader does not know; they are skipped (and counted), not fatal.
+        with pytest.warns(FutureWarning, match="hologram"):
+            folded = summarize([
+                {"record": "job", "status": "executed"},
+                {"record": "hologram", "volume": 11},
+                {"record": "hologram", "volume": 12},
+                {"record": "batch_end"},
+            ])
+        assert folded["statuses"] == {"executed": 1}
+        assert folded["skipped"] == 2
+
+    def test_summarize_known_records_do_not_warn(self, recwarn):
+        folded = summarize([
+            {"record": "batch_start", "total": 1},
+            {"record": "job", "status": "executed"},
+            {"record": "batch_end"},
+        ])
+        assert folded["skipped"] == 0
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, FutureWarning)]
+
+
+class TestJournalRotation:
+    def entry(self, i):
+        return {"spec_hash": f"h{i:05d}", "status": "executed",
+                "padding": "x" * 64}
+
+    def test_size_rotation_keeps_tail(self, tmp_path):
+        journal = RunJournal(
+            tmp_path / "journal.jsonl", max_bytes=4096, retain_tail=10,
+        )
+        for i in range(200):
+            journal.job(**self.entry(i))
+        assert journal.rotated_path.exists()
+        active = read_journal(journal.path)
+        # The active file never exceeds the bound by more than one
+        # record's worth, and always retains the most recent tail.
+        assert len(active) >= 10
+        assert active[-1]["spec_hash"] == "h00199"
+        rotated = read_journal(journal.rotated_path)
+        assert rotated  # older records moved aside, not lost
+
+    def test_tail_overlap_is_contiguous(self, tmp_path):
+        journal = RunJournal(
+            tmp_path / "journal.jsonl", max_bytes=2048, retain_tail=5,
+        )
+        for i in range(100):
+            journal.job(**self.entry(i))
+        active = read_journal(journal.path)
+        seqs = [r["seq"] for r in active]
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+
+    def test_no_bounds_means_no_rotation(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        for i in range(50):
+            journal.job(**self.entry(i))
+        assert not journal.rotated_path.exists()
+        assert len(read_journal(journal.path)) == 50
+
+    def test_summarize_of_rotated_journal_still_works(self, tmp_path):
+        journal = RunJournal(
+            tmp_path / "journal.jsonl", max_bytes=2048, retain_tail=5,
+        )
+        journal.batch_start(total=100)
+        for i in range(100):
+            journal.job(**self.entry(i))
+        journal.batch_end(done=100)
+        folded = summarize(read_journal(journal.path))
+        assert folded["statuses"]["executed"] >= 5
+
+    def test_observer_sees_every_record_despite_rotation(self, tmp_path):
+        seen = []
+        journal = RunJournal(
+            tmp_path / "journal.jsonl", max_bytes=2048, retain_tail=5,
+            observer=seen.append,
+        )
+        for i in range(100):
+            journal.job(**self.entry(i))
+        assert len(seen) == 100
+
 
 class TestMandatedWaitReplay:
     def test_defaults_mandate_waiting(self):
@@ -465,17 +548,32 @@ class TestFlatExports:
     def test_prometheus_text(self):
         text = timeline.prometheus_text(
             {"b_counter": 2.5, "a_counter": 7, "skip_inf": float("inf"),
-             "skip_flag": True, "skip_str": "x"},
+             "skip_flag": True, "skip_str": "x", "skip_neg": -1},
         )
-        assert text.splitlines() == [
-            "# TYPE repro_a_counter counter",
-            "repro_a_counter 7",
-            "# TYPE repro_b_counter counter",
-            "repro_b_counter 2.5",
-        ]
+        lines = text.splitlines()
+        assert "# TYPE repro_a_counter counter" in lines
+        assert "repro_a_counter_total 7" in lines
+        assert "repro_b_counter_total 2.5" in lines
+        assert lines[-1] == "# EOF"
+        assert not any("skip" in line for line in lines)
+        # Counters come out in sorted family order.
+        assert lines.index("repro_a_counter_total 7") < lines.index(
+            "repro_b_counter_total 2.5"
+        )
+
+    def test_prometheus_text_is_valid_openmetrics(self):
+        from repro.obs.metrics import validate_openmetrics
+
+        text = timeline.prometheus_text({"events": 100, "wall_s": 0.25})
+        assert validate_openmetrics(text) == []
 
     def test_prometheus_prefix(self):
-        assert timeline.prometheus_text({"n": 1}, prefix="x_") == "# TYPE x_n counter\nx_n 1\n"
+        text = timeline.prometheus_text({"n": 1}, prefix="x_")
+        assert "# TYPE x_n counter" in text.splitlines()
+        assert "x_n_total 1" in text.splitlines()
+
+    def test_prometheus_empty_still_terminated(self):
+        assert timeline.prometheus_text({}).splitlines()[-1] == "# EOF"
 
 
 class TestLoadExportSource:
